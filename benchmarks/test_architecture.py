@@ -1,0 +1,36 @@
+"""Benchmark: the Fig. 1 architecture comparison (Section I's motivation).
+
+Regenerates the throughput-vs-starvation trade-off between the classical
+single-queue design and the paper's shared-memory switch, asserting the
+introduction's claims: single-queue PQ maximizes throughput but starves
+the heaviest traffic classes; shared-memory LWD serves every class.
+"""
+
+from repro.experiments.architecture import run_architecture_comparison
+
+from conftest import BENCH_SLOTS, run_once
+
+
+def test_architecture_comparison(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: run_architecture_comparison(
+            k=8, buffer_size=64, n_slots=max(BENCH_SLOTS, 1500),
+            load=3.0, seed=0,
+        ),
+    )
+    print("\n=== Fig. 1 architecture comparison ===")
+    print(result.format_table())
+    benchmark.extra_info["totals"] = result.totals
+    benchmark.extra_info["pq_min_acceptance"] = round(
+        result.min_acceptance("SQ-PQ"), 4
+    )
+    benchmark.extra_info["lwd_min_acceptance"] = round(
+        result.min_acceptance("SM-LWD"), 4
+    )
+    # Section I, claim 1: single-queue PQ is throughput-optimal.
+    assert result.totals["SQ-PQ"] == max(result.totals.values())
+    # Section I, claim 2: ... by starving heavy classes, which the
+    # shared-memory switch does not.
+    assert result.min_acceptance("SQ-PQ") < 0.02
+    assert result.min_acceptance("SM-LWD") > 0.05

@@ -1,0 +1,48 @@
+"""Fig. 5, top row — heterogeneous processing model (panels 1-3).
+
+Each benchmark regenerates one panel: the empirical competitive ratio of
+NHST, NEST, NHDT, LQD, BPD, BPD1 and LWD against the single-PQ OPT
+surrogate under MMPP traffic, swept over k / B / C. Expected shapes (paper,
+Section V-B): all policies degrade as k grows with non-push-out policies
+degrading faster; BPD is consistently poor and BPD1 only partly fixes it;
+LWD is the best policy throughout all three sweeps.
+"""
+
+from repro.experiments.fig5 import run_panel
+
+from conftest import BENCH_SLOTS, record_series, run_once
+
+
+def test_panel1_vs_k(benchmark):
+    """Panel (1): ratio vs maximal work k (contiguous ports)."""
+    result = run_once(
+        benchmark, lambda: run_panel(1, n_slots=BENCH_SLOTS, seeds=(0,))
+    )
+    record_series(benchmark, result, "Fig. 5 (1): processing, ratio vs k")
+    lwd = dict(result.series("LWD"))
+    bpd = dict(result.series("BPD"))
+    for value in result.param_values():
+        assert lwd[value].mean <= bpd[value].mean
+
+
+def test_panel2_vs_buffer(benchmark):
+    """Panel (2): ratio vs buffer size B."""
+    result = run_once(
+        benchmark, lambda: run_panel(2, n_slots=BENCH_SLOTS, seeds=(0,))
+    )
+    record_series(benchmark, result, "Fig. 5 (2): processing, ratio vs B")
+    # Congestion (and with it every ratio) relaxes as B grows.
+    lwd = result.series("LWD")
+    assert lwd[-1][1].mean <= lwd[0][1].mean + 0.05
+
+
+def test_panel3_vs_speedup(benchmark):
+    """Panel (3): ratio vs per-queue speedup C (fixed offered load)."""
+    result = run_once(
+        benchmark, lambda: run_panel(3, n_slots=BENCH_SLOTS, seeds=(0,))
+    )
+    record_series(benchmark, result, "Fig. 5 (3): processing, ratio vs C")
+    # Preemptive policies pick up on speedup; with enough cores the
+    # congestion dissolves and LWD converges towards the surrogate.
+    lwd = result.series("LWD")
+    assert lwd[-1][1].mean < lwd[0][1].mean

@@ -1,0 +1,47 @@
+"""Fig. 5, bottom row — value model, value determined by port (panels 7-9).
+
+Expected shapes (paper, Section V-C): MRD performs noticeably better than
+LQD in this regime; MVD falls far behind (its Theorem 10 pathology is
+port-stratified values); the greedy non-push-out baseline is worst and
+degrades roughly linearly in k.
+"""
+
+from repro.experiments.fig5 import run_panel
+
+from conftest import BENCH_SLOTS, record_series, run_once
+
+
+def test_panel7_vs_k(benchmark):
+    """Panel (7): ratio vs maximal value k (value = port label)."""
+    result = run_once(
+        benchmark, lambda: run_panel(7, n_slots=BENCH_SLOTS, seeds=(0,))
+    )
+    record_series(benchmark, result, "Fig. 5 (7): value=port, ratio vs k")
+    mrd = dict(result.series("MRD"))
+    lqd = dict(result.series("LQD-V"))
+    mvd = dict(result.series("MVD"))
+    for value in result.param_values():
+        assert mrd[value].mean <= lqd[value].mean + 0.02
+        if value >= 4:
+            assert mvd[value].mean > mrd[value].mean
+
+
+def test_panel8_vs_buffer(benchmark):
+    """Panel (8): ratio vs buffer size B."""
+    result = run_once(
+        benchmark, lambda: run_panel(8, n_slots=BENCH_SLOTS, seeds=(0,))
+    )
+    record_series(benchmark, result, "Fig. 5 (8): value=port, ratio vs B")
+    mrd = result.series("MRD")
+    assert mrd[-1][1].mean <= mrd[0][1].mean + 0.1
+
+
+def test_panel9_vs_speedup(benchmark):
+    """Panel (9): ratio vs speedup C (fixed offered rate)."""
+    result = run_once(
+        benchmark, lambda: run_panel(9, n_slots=BENCH_SLOTS, seeds=(0,))
+    )
+    record_series(benchmark, result, "Fig. 5 (9): value=port, ratio vs C")
+    for policy in ("MRD", "LQD-V"):
+        series = result.series(policy)
+        assert series[-1][1].mean < series[0][1].mean

@@ -1,0 +1,47 @@
+"""Fig. 5, middle row — value model, uniform port x value (panels 4-6).
+
+Expected shapes (paper, Section V-C): the ratio first grows with k while
+the surrogate exploits extra capacity better, then congestion resolves and
+the online policies catch up; MRD leads but its gap to LQD is small; MVD
+and MVD1 trail; at high speedup MVD overtakes LQD.
+"""
+
+from repro.experiments.fig5 import run_panel
+
+from conftest import BENCH_SLOTS, record_series, run_once
+
+
+def test_panel4_vs_k(benchmark):
+    """Panel (4): ratio vs maximal value k (k ports, fixed offered rate)."""
+    result = run_once(
+        benchmark, lambda: run_panel(4, n_slots=BENCH_SLOTS, seeds=(0,))
+    )
+    record_series(benchmark, result, "Fig. 5 (4): value-uniform, ratio vs k")
+    mrd = dict(result.series("MRD"))
+    lqd = dict(result.series("LQD-V"))
+    greedy = dict(result.series("Greedy"))
+    for value in result.param_values():
+        assert mrd[value].mean <= lqd[value].mean + 0.02
+        assert greedy[value].mean >= mrd[value].mean
+
+
+def test_panel5_vs_buffer(benchmark):
+    """Panel (5): ratio vs buffer size B."""
+    result = run_once(
+        benchmark, lambda: run_panel(5, n_slots=BENCH_SLOTS, seeds=(0,))
+    )
+    record_series(benchmark, result, "Fig. 5 (5): value-uniform, ratio vs B")
+    mrd = result.series("MRD")
+    assert mrd[-1][1].mean <= mrd[0][1].mean + 0.1
+
+
+def test_panel6_vs_speedup(benchmark):
+    """Panel (6): ratio vs speedup C (fixed offered rate)."""
+    result = run_once(
+        benchmark, lambda: run_panel(6, n_slots=BENCH_SLOTS, seeds=(0,))
+    )
+    record_series(benchmark, result, "Fig. 5 (6): value-uniform, ratio vs C")
+    # Congestion resolves with speedup: every policy's ratio falls.
+    for policy in ("LQD-V", "MVD", "MRD"):
+        series = result.series(policy)
+        assert series[-1][1].mean < series[0][1].mean

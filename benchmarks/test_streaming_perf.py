@@ -1,0 +1,59 @@
+"""Benchmarks: streaming-pipeline throughput (the paper-scale enabler).
+
+Measures simulated slots/second of the lock-step streaming runner
+(policy + OPT surrogate fed from a generator) across switch sizes. These
+are the numbers behind EXPERIMENTS.md's claim that the paper's full
+2*10^6-slot horizon is practical.
+"""
+
+import pytest
+
+from repro.analysis.sensitivity import OperatingPoint, run_sensitivity
+from repro.analysis.streaming import stream_competitive
+from repro.core.config import SwitchConfig
+from repro.policies import make_policy
+from repro.traffic.streaming import stream_processing_workload
+
+from conftest import BENCH_SLOTS, run_once
+
+
+@pytest.mark.parametrize("k", [4, 12, 24])
+def test_streaming_throughput(benchmark, k):
+    """Slots/second of a lock-step LWD-vs-surrogate streaming run."""
+    config = SwitchConfig.contiguous(k, 8 * k)
+    n_slots = max(BENCH_SLOTS, 1000)
+
+    def run():
+        return stream_competitive(
+            make_policy("LWD"),
+            config,
+            stream_processing_workload(config, n_slots, load=3.0, seed=0),
+            flush_every=500,
+        )
+
+    result = benchmark(run)
+    benchmark.extra_info["slots"] = n_slots
+    benchmark.extra_info["ratio"] = round(result.ratio, 4)
+    assert result.slots == n_slots
+    assert result.ratio >= 1.0
+
+
+def test_sensitivity_tornado(benchmark):
+    """The calibration tornado: which knob moves the LWD-LQD gap most."""
+    report = run_once(
+        benchmark,
+        lambda: run_sensitivity(
+            base=OperatingPoint(n_slots=max(BENCH_SLOTS, 800))
+        ),
+    )
+    print("\n=== sensitivity of the LWD-LQD gap ===")
+    print(report.format_table())
+    print("tornado:", [
+        f"{knob}:{swing:.3f}" for knob, swing in report.tornado()
+    ])
+    benchmark.extra_info["tornado"] = {
+        knob: round(swing, 4) for knob, swing in report.tornado()
+    }
+    # Burstiness and heterogeneity dominate; buffer size is secondary.
+    swings = dict(report.tornado())
+    assert max(swings["duty_cycle"], swings["k"]) > swings["buffer_size"]

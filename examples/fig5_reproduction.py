@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Fig. 5 (all nine panels) as ratio tables + CSV.
+
+For every panel this runs the corresponding MMPP sweep against the
+single-PQ OPT surrogate and prints the competitive-ratio table (one row
+per swept parameter value, one column per policy) — the numeric form of
+the paper's plots. CSVs land in ``results/``.
+
+The defaults are laptop-scale (2000 slots/point vs the paper's 2*10^6);
+pass a slot count to scale up:
+
+Run:  python examples/fig5_reproduction.py [n_slots] [panel ...]
+e.g.  python examples/fig5_reproduction.py 5000 1 4 7
+"""
+
+import sys
+from pathlib import Path
+
+from repro.experiments.fig5 import PANELS, run_panel
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    n_slots = int(args[0]) if args else 2000
+    panels = [int(a) for a in args[1:]] or sorted(PANELS)
+
+    out_dir = Path("results")
+    out_dir.mkdir(exist_ok=True)
+
+    for panel in panels:
+        spec = PANELS[panel]
+        print(f"\n=== Fig. 5 ({panel}): {spec.title} ===")
+        result = run_panel(panel, n_slots=n_slots, seeds=(0, 1))
+        print(result.format_table())
+        csv_path = out_dir / f"fig5_panel{panel}.csv"
+        result.to_csv(csv_path)
+        print(f"[wrote {csv_path}]")
+
+
+if __name__ == "__main__":
+    main()

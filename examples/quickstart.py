@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: measure a policy's empirical competitive ratio.
+
+Builds the paper's shared-memory switch (contiguous processing
+requirements w_i = i), generates bursty MMPP traffic, and replays it
+through the paper's main contribution — the Longest-Work-Drop (LWD)
+policy — alongside the classic Longest-Queue-Drop baseline, comparing
+both against the single-priority-queue OPT surrogate of Section V-A.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    LQD,
+    LWD,
+    SwitchConfig,
+    measure_competitive_ratio,
+    processing_workload,
+)
+
+
+def main() -> None:
+    # An 8-port switch: packets to port i need i+1 processing cycles;
+    # all ports share one 64-packet buffer.
+    config = SwitchConfig.contiguous(k=8, buffer_size=64)
+    print(f"switch: {config.describe()}")
+
+    # The paper's traffic: 500 interleaved MMPP on-off sources, offered
+    # load 3x the switch's service capacity (sustained congestion).
+    trace = processing_workload(config, n_slots=3000, load=3.0, seed=42)
+    stats = trace.stats()
+    print(
+        f"trace : {stats['n_slots']} slots, {stats['total_packets']} packets "
+        f"({stats['mean_burst']:.2f}/slot)"
+    )
+
+    for policy in (LWD(), LQD()):
+        result = measure_competitive_ratio(
+            policy, trace, config, flush_every=500
+        )
+        metrics = result.alg_metrics
+        print(
+            f"{policy.name:4s}: competitive ratio {result.ratio:.3f}  "
+            f"(transmitted {metrics.transmitted_packets}, "
+            f"dropped {metrics.dropped}, pushed out {metrics.pushed_out})"
+        )
+
+    print(
+        "\nLWD should come out ahead: it is the paper's 2-competitive "
+        "policy, while LQD degrades like sqrt(k) under heterogeneous "
+        "processing (Theorem 4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Analysis layer: competitive measurement, sweeps, statistics, theory."""
+
+from repro.analysis.competitive import (
+    CompetitiveResult,
+    PolicySystem,
+    measure_competitive_ratio,
+    run_scenario,
+    run_system,
+)
+from repro.analysis.conjecture import (
+    ConjectureReport,
+    ProbeResult,
+    adversarial_search,
+    evaluate_instance,
+    evaluate_processing_instance,
+    probe_policy,
+    probe_processing_policy,
+    processing_adversarial_search,
+)
+from repro.analysis.convergence import (
+    ConvergencePoint,
+    ConvergenceProfile,
+    convergence_profile,
+)
+from repro.analysis.fairness import (
+    FairnessReport,
+    jain_index,
+    service_profile,
+    work_normalized_shares,
+)
+from repro.analysis.mapping import (
+    MappingChecker,
+    MappingReport,
+    MappingViolation,
+    certify_lwd,
+)
+from repro.analysis.occupancy import (
+    OccupancyProfile,
+    compare_sharing,
+    occupancy_profile,
+)
+from repro.analysis.sensitivity import (
+    OperatingPoint,
+    SensitivityReport,
+    run_sensitivity,
+)
+from repro.analysis.stats import Summary, geometric_mean, summarize
+from repro.analysis.streaming import StreamResult, stream_competitive
+from repro.analysis.sweep import SweepPoint, SweepResult, run_sweep
+
+__all__ = [
+    "CompetitiveResult",
+    "ConjectureReport",
+    "ConvergencePoint",
+    "ConvergenceProfile",
+    "FairnessReport",
+    "MappingChecker",
+    "MappingReport",
+    "MappingViolation",
+    "OccupancyProfile",
+    "OperatingPoint",
+    "PolicySystem",
+    "SensitivityReport",
+    "ProbeResult",
+    "StreamResult",
+    "certify_lwd",
+    "stream_competitive",
+    "compare_sharing",
+    "jain_index",
+    "occupancy_profile",
+    "service_profile",
+    "work_normalized_shares",
+    "Summary",
+    "SweepPoint",
+    "SweepResult",
+    "adversarial_search",
+    "convergence_profile",
+    "evaluate_instance",
+    "evaluate_processing_instance",
+    "geometric_mean",
+    "measure_competitive_ratio",
+    "probe_policy",
+    "probe_processing_policy",
+    "processing_adversarial_search",
+    "run_scenario",
+    "run_sensitivity",
+    "run_sweep",
+    "run_system",
+    "summarize",
+]

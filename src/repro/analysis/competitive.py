@@ -1,0 +1,201 @@
+"""Competitive-ratio measurement: drive ALG and OPT over the same trace.
+
+An algorithm ALG is alpha-competitive when, for every arrival sequence, its
+objective is at least ``1/alpha`` of the optimal offline objective. The
+empirical analogue, used throughout the paper's Section V, replays a single
+trace through both an online policy and an OPT reference and reports
+
+    ``ratio = OPT objective / ALG objective  (>= 1 means ALG is worse)``.
+
+Both systems see identical arrivals; they differ only in admission (and,
+for the single-PQ surrogate, buffer architecture). Periodic *flushouts*
+(Section V-A) clear both buffers every ``flush_every`` slots so that
+transient backlog cannot dominate long runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.core.config import QueueDiscipline, SwitchConfig
+from repro.core.errors import ConfigError
+from repro.core.metrics import SwitchMetrics
+from repro.core.packet import Packet
+from repro.core.switch import AdmissionPolicy, SharedMemorySwitch
+from repro.opt.scripted import ScriptedPolicy
+from repro.opt.surrogate import System, make_surrogate
+from repro.traffic.trace import Trace
+
+
+class PolicySystem:
+    """A shared-memory switch driven by a buffer-management policy.
+
+    Adapts the (switch, policy) pair to the :class:`~repro.opt.surrogate.
+    System` interface shared with the OPT surrogates, so the runner can
+    treat every contender uniformly.
+    """
+
+    def __init__(self, config: SwitchConfig, policy: AdmissionPolicy) -> None:
+        self.switch = SharedMemorySwitch(config)
+        self.policy = policy
+
+    @property
+    def metrics(self) -> SwitchMetrics:
+        return self.switch.metrics
+
+    @property
+    def backlog(self) -> int:
+        return self.switch.occupancy
+
+    def run_slot(self, arrivals: Sequence[Packet]) -> List[Packet]:
+        return self.switch.run_slot(arrivals, self.policy)
+
+    def flush(self) -> int:
+        return self.switch.flush()
+
+
+@dataclass(frozen=True)
+class CompetitiveResult:
+    """Outcome of one ALG-vs-OPT replay."""
+
+    policy_name: str
+    opt_name: str
+    alg_objective: float
+    opt_objective: float
+    by_value: bool
+    alg_metrics: SwitchMetrics
+    opt_metrics: SwitchMetrics
+
+    @property
+    def ratio(self) -> float:
+        """Empirical competitive ratio ``OPT / ALG`` (inf when ALG idle)."""
+        if self.alg_objective <= 0:
+            return float("inf") if self.opt_objective > 0 else 1.0
+        return self.opt_objective / self.alg_objective
+
+    def summary(self) -> str:
+        return (
+            f"{self.policy_name}: ratio={self.ratio:.4f} "
+            f"(ALG={self.alg_objective:.1f}, {self.opt_name}="
+            f"{self.opt_objective:.1f})"
+        )
+
+
+def run_system(
+    system: System,
+    trace: Trace,
+    *,
+    flush_every: Optional[int] = None,
+    drain_slots: int = 0,
+) -> SwitchMetrics:
+    """Replay a trace through one system, with optional flushouts/drain."""
+    if flush_every is not None and flush_every < 1:
+        raise ConfigError(f"flush_every must be >= 1, got {flush_every}")
+    for slot, arrivals in enumerate(trace):
+        system.run_slot(arrivals)
+        if flush_every is not None and (slot + 1) % flush_every == 0:
+            system.flush()
+    drained = 0
+    while system.backlog > 0 and drained < drain_slots:
+        system.run_slot(())
+        drained += 1
+    return system.metrics
+
+
+def measure_competitive_ratio(
+    policy: AdmissionPolicy,
+    trace: Trace,
+    config: SwitchConfig,
+    *,
+    by_value: Optional[bool] = None,
+    opt: Union[str, System] = "surrogate",
+    flush_every: Optional[int] = None,
+    drain: bool = False,
+) -> CompetitiveResult:
+    """Replay ``trace`` through ``policy`` and an OPT reference.
+
+    Parameters
+    ----------
+    policy:
+        The online buffer-management policy under test.
+    trace:
+        The common arrival sequence.
+    config:
+        Switch configuration shared by ALG and (for scripted OPT) OPT.
+    by_value:
+        Objective selector; defaults from the configured discipline
+        (priority queues imply the value objective).
+    opt:
+        ``"surrogate"`` — the paper's single priority queue with ``n*C``
+        cores (Section V-A); ``"scripted"`` — replay the trace's
+        ``opt_accept`` tags on a normal switch (adversarial scenarios);
+        or any pre-built :class:`~repro.opt.surrogate.System`.
+    flush_every:
+        Clear both buffers every this many slots (the paper's flushouts).
+    drain:
+        After the trace, run empty slots until both systems empty (bounded
+        by ``B * k`` slots), crediting buffered packets.
+    """
+    if by_value is None:
+        by_value = config.discipline is QueueDiscipline.PRIORITY
+
+    if isinstance(opt, str):
+        if opt == "surrogate":
+            opt_system: System = make_surrogate(config, by_value)
+            opt_name = "OPT-PQ"
+        elif opt == "scripted":
+            opt_system = PolicySystem(config, ScriptedPolicy())
+            opt_name = "Scripted-OPT"
+        else:
+            raise ConfigError(f"unknown OPT reference {opt!r}")
+    else:
+        opt_system = opt
+        opt_name = type(opt).__name__
+
+    drain_slots = config.buffer_size * config.max_work if drain else 0
+
+    alg_system = PolicySystem(config, policy)
+    alg_metrics = run_system(
+        alg_system, trace, flush_every=flush_every, drain_slots=drain_slots
+    )
+    opt_metrics = run_system(
+        opt_system, trace, flush_every=flush_every, drain_slots=drain_slots
+    )
+
+    return CompetitiveResult(
+        policy_name=getattr(policy, "name", type(policy).__name__),
+        opt_name=opt_name,
+        alg_objective=alg_metrics.objective(by_value),
+        opt_objective=opt_metrics.objective(by_value),
+        by_value=by_value,
+        alg_metrics=alg_metrics,
+        opt_metrics=opt_metrics,
+    )
+
+
+def run_scenario(scenario, drain: bool = False) -> CompetitiveResult:
+    """Execute an adversarial scenario against its target policy.
+
+    Convenience wrapper: builds the scenario's target policy by name,
+    replays its trace against the scripted clairvoyant OPT, and returns
+    the measured ratio (to compare with ``scenario.predicted_ratio``).
+
+    ``drain`` defaults to off: the proofs count transmissions over the
+    construction's period, and round lengths are engineered so OPT's
+    buffer empties while the target policy is left holding the packets it
+    mis-admitted — crediting those through a drain phase would understate
+    the bound (in steady state the next round's burst reclaims that
+    buffer space anyway).
+    """
+    from repro.policies import make_policy  # local import to avoid cycles
+
+    policy = make_policy(scenario.target_policy)
+    return measure_competitive_ratio(
+        policy,
+        scenario.trace,
+        scenario.config,
+        by_value=scenario.by_value,
+        opt="scripted",
+        drain=drain,
+    )

@@ -1,0 +1,89 @@
+"""Fairness metrics over per-port service.
+
+The paper's architectural argument (Section I) is about *fairness across
+traffic types*: complete sharing lets one port monopolize the buffer,
+complete partitioning wastes it, and the single-queue PQ starves heavy
+types outright. These metrics quantify that discussion:
+
+* :func:`jain_index` — the classical Jain fairness index over per-port
+  service rates: 1.0 when all ports are served equally, ``1/n`` when one
+  port gets everything.
+* :func:`work_normalized_shares` — per-port transmitted *work* (packets
+  times their processing requirement) as a fraction of the total; in the
+  shared-memory switch each busy port burns one core, so equal
+  work-shares mean no type starves regardless of its per-packet cost.
+* :func:`service_profile` — the combined per-port record used by the
+  architecture experiment and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.config import SwitchConfig
+from repro.core.errors import ConfigError
+from repro.core.metrics import SwitchMetrics
+
+
+def jain_index(shares: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    Ranges from ``1/n`` (maximally unfair) to ``1.0`` (perfectly fair);
+    an all-zero allocation is defined as perfectly fair (nothing served,
+    nothing skewed).
+    """
+    if not shares:
+        raise ConfigError("jain_index of an empty allocation")
+    if any(x < 0 for x in shares):
+        raise ConfigError("jain_index requires non-negative shares")
+    total = sum(shares)
+    if total == 0:
+        return 1.0
+    square_sum = sum(x * x for x in shares)
+    return (total * total) / (len(shares) * square_sum)
+
+
+def work_normalized_shares(
+    config: SwitchConfig, metrics: SwitchMetrics
+) -> List[float]:
+    """Per-port share of transmitted *work* (service time consumed)."""
+    work = [
+        metrics.transmitted_by_port[port] * config.work_of(port)
+        for port in range(config.n_ports)
+    ]
+    total = sum(work)
+    if total == 0:
+        return [0.0] * config.n_ports
+    return [w / total for w in work]
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Fairness summary of one run."""
+
+    packet_jain: float
+    work_jain: float
+    min_work_share: float
+    max_work_share: float
+
+    def summary(self) -> str:
+        return (
+            f"fairness: Jain(packets)={self.packet_jain:.3f}, "
+            f"Jain(work)={self.work_jain:.3f}, work shares "
+            f"[{self.min_work_share:.3f}, {self.max_work_share:.3f}]"
+        )
+
+
+def service_profile(
+    config: SwitchConfig, metrics: SwitchMetrics
+) -> FairnessReport:
+    """Fairness report from a finished run's metrics."""
+    packet_shares = [float(x) for x in metrics.transmitted_by_port]
+    work_shares = work_normalized_shares(config, metrics)
+    return FairnessReport(
+        packet_jain=jain_index(packet_shares),
+        work_jain=jain_index(work_shares),
+        min_work_share=min(work_shares),
+        max_work_share=max(work_shares),
+    )

@@ -1,0 +1,53 @@
+"""Small statistics helpers for replicated simulation runs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, spread, and a normal-approximation 95% confidence interval."""
+
+    n: int
+    mean: float
+    std: float
+    ci95_half_width: float
+
+    @property
+    def ci_low(self) -> float:
+        return self.mean - self.ci95_half_width
+
+    @property
+    def ci_high(self) -> float:
+        return self.mean + self.ci95_half_width
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} +/- {self.ci95_half_width:.4f} (n={self.n})"
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Summarize replicated measurements (e.g. ratios across seeds)."""
+    if not samples:
+        raise ConfigError("cannot summarize an empty sample set")
+    n = len(samples)
+    mean = sum(samples) / n
+    if n == 1:
+        return Summary(n=1, mean=mean, std=0.0, ci95_half_width=0.0)
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    std = math.sqrt(variance)
+    half_width = 1.96 * std / math.sqrt(n)
+    return Summary(n=n, mean=mean, std=std, ci95_half_width=half_width)
+
+
+def geometric_mean(samples: Sequence[float]) -> float:
+    """Geometric mean, natural for ratio-valued measurements."""
+    if not samples:
+        raise ConfigError("cannot average an empty sample set")
+    if any(x <= 0 for x in samples):
+        raise ConfigError("geometric mean requires positive samples")
+    return math.exp(sum(math.log(x) for x in samples) / len(samples))

@@ -1,0 +1,172 @@
+"""Parameter sweeps: competitive ratio as a function of k, B, or C.
+
+Fig. 5 of the paper consists of nine such sweeps (three per traffic
+regime). A sweep is declarative: a callable builds the switch
+configuration for each parameter value, another builds the (seeded)
+workload, and the runner measures every policy on the *same* trace per
+(value, seed) pair — policies must be compared on identical arrivals for
+the ratios to be comparable.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.competitive import measure_competitive_ratio
+from repro.analysis.stats import Summary, summarize
+from repro.core.config import SwitchConfig
+from repro.core.errors import ConfigError
+from repro.policies import make_policy
+from repro.traffic.trace import Trace
+
+ConfigFactory = Callable[[float], SwitchConfig]
+TraceFactory = Callable[[SwitchConfig, float, int], Trace]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (parameter value, policy, seed) measurement."""
+
+    param_value: float
+    policy: str
+    seed: int
+    ratio: float
+    alg_objective: float
+    opt_objective: float
+
+
+@dataclass
+class SweepResult:
+    """All measurements of one sweep, with aggregation helpers."""
+
+    name: str
+    param_name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def policies(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for point in self.points:
+            seen.setdefault(point.policy, None)
+        return list(seen)
+
+    def param_values(self) -> List[float]:
+        seen: Dict[float, None] = {}
+        for point in self.points:
+            seen.setdefault(point.param_value, None)
+        return sorted(seen)
+
+    def series(self, policy: str) -> List[Tuple[float, Summary]]:
+        """(parameter value, ratio summary across seeds) for one policy."""
+        result = []
+        for value in self.param_values():
+            samples = [
+                p.ratio
+                for p in self.points
+                if p.policy == policy and p.param_value == value
+            ]
+            if samples:
+                result.append((value, summarize(samples)))
+        return result
+
+    def to_csv(self, path: Path | str) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                [
+                    self.param_name,
+                    "policy",
+                    "seed",
+                    "ratio",
+                    "alg_objective",
+                    "opt_objective",
+                ]
+            )
+            for p in self.points:
+                writer.writerow(
+                    [
+                        p.param_value,
+                        p.policy,
+                        p.seed,
+                        f"{p.ratio:.6f}",
+                        f"{p.alg_objective:.3f}",
+                        f"{p.opt_objective:.3f}",
+                    ]
+                )
+
+    def format_table(self) -> str:
+        """The sweep as a fixed-width table: one row per parameter value,
+        one column per policy (mean ratio across seeds) — the same layout
+        as a Fig. 5 panel read off as numbers."""
+        policies = self.policies()
+        header = [self.param_name.rjust(8)] + [p.rjust(9) for p in policies]
+        lines = ["  ".join(header)]
+        for value in self.param_values():
+            cells = [f"{value:8g}"]
+            for policy in policies:
+                samples = [
+                    pt.ratio
+                    for pt in self.points
+                    if pt.policy == policy and pt.param_value == value
+                ]
+                cells.append(
+                    f"{summarize(samples).mean:9.4f}" if samples else " " * 9
+                )
+            lines.append("  ".join(cells))
+        return "\n".join(lines)
+
+
+def run_sweep(
+    name: str,
+    param_name: str,
+    param_values: Sequence[float],
+    config_factory: ConfigFactory,
+    trace_factory: TraceFactory,
+    policy_names: Sequence[str],
+    *,
+    seeds: Sequence[int] = (0,),
+    by_value: Optional[bool] = None,
+    flush_every: Optional[int] = None,
+    drain: bool = False,
+) -> SweepResult:
+    """Measure every policy at every parameter value over every seed.
+
+    The trace for a (value, seed) pair is generated once and replayed
+    against all policies and the OPT surrogate.
+    """
+    if not param_values:
+        raise ConfigError("sweep needs at least one parameter value")
+    if not policy_names:
+        raise ConfigError("sweep needs at least one policy")
+
+    result = SweepResult(name=name, param_name=param_name)
+    for value in param_values:
+        config = config_factory(value)
+        for seed in seeds:
+            trace = trace_factory(config, value, seed)
+            for policy_name in policy_names:
+                policy = make_policy(policy_name)
+                outcome = measure_competitive_ratio(
+                    policy,
+                    trace,
+                    config,
+                    by_value=by_value,
+                    opt="surrogate",
+                    flush_every=flush_every,
+                    drain=drain,
+                )
+                result.points.append(
+                    SweepPoint(
+                        param_value=float(value),
+                        policy=policy_name,
+                        seed=seed,
+                        ratio=outcome.ratio,
+                        alg_objective=outcome.alg_objective,
+                        opt_objective=outcome.opt_objective,
+                    )
+                )
+    return result

@@ -1,0 +1,152 @@
+"""Closed-form competitive-ratio bounds from the paper's theorems.
+
+These formulas let experiments overlay analytic bounds onto measured
+curves, and let tests check that simulated adversarial constructions land
+where the proofs predict. Each function documents the theorem it encodes;
+"lower bound" means a lower bound on the policy's competitive ratio
+(i.e. the policy is provably at least this bad in the worst case), "upper
+bound" means a guarantee (the policy is never worse).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro._math import EULER_GAMMA, harmonic_number, harmonic_range
+
+
+# ---------------------------------------------------------------------------
+# Heterogeneous processing (Section III)
+# ---------------------------------------------------------------------------
+
+
+def nhst_competitiveness(k: int, z: float) -> float:
+    """Theorem 1: NHST is ``kZ + o(kZ)``-competitive (tight).
+
+    ``Z = sum_i 1/w_i``; in the contiguous configuration ``Z = H_k``.
+    """
+    return k * z
+
+
+def nest_competitiveness(n: int) -> float:
+    """Theorem 2: NEST is ``n + o(n)``-competitive (tight) — complete
+    partitioning reduces each queue to an optimal isolated queue of size
+    ``B/n``."""
+    return float(n)
+
+
+def nhdt_lower_bound(k: int) -> float:
+    """Theorem 3 (asymptotic): NHDT is at least
+    ``(1/2) sqrt(k ln k) - o(.)``-competitive under heterogeneous work."""
+    if k < 2:
+        return 1.0
+    return 0.5 * math.sqrt(k * math.log(k))
+
+
+def nhdt_lower_bound_finite(k: int, buffer_size: int, h: int) -> float:
+    """Theorem 3, finite parameters: the proof's ratio before asymptotics.
+
+    ``h = k - m`` is the number of heavy work classes in the burst
+    (``sqrt(k / ln k)`` at the proof's optimum). With heavy-class service
+    rate ``S = H_k - H_{k-h}`` and ``A = B / ln k``:
+
+        ``(1 + S) / (S + A / ((B - h)(h + 1)))``.
+    """
+    heavy_rate = harmonic_number(k) - harmonic_number(k - h)
+    a_const = buffer_size / math.log(k)
+    period = buffer_size - h
+    return (1.0 + heavy_rate) / (
+        heavy_rate + a_const / (period * (h + 1))
+    )
+
+
+def lqd_processing_lower_bound(k: int) -> float:
+    """Theorem 4 (asymptotic): LQD is at least ``sqrt(k) - o(sqrt(k))``-
+    competitive under heterogeneous work."""
+    return math.sqrt(k)
+
+
+def lqd_processing_lower_bound_finite(
+    k: int, buffer_size: int, m: int
+) -> float:
+    """Theorem 4, finite parameters (the proof's pre-optimization ratio)."""
+    beta = harmonic_range(k - m + 1, k)
+    frac = m / buffer_size
+    return 1.0 + ((m - 1) / m - frac) / (1.0 / m + (1.0 - frac) * beta)
+
+
+def bpd_lower_bound(k: int) -> float:
+    """Theorem 5: BPD is at least ``ln k + gamma``-competitive (the exact
+    construction yields ``H_k``)."""
+    return math.log(k) + EULER_GAMMA if k >= 1 else 1.0
+
+
+def bpd_lower_bound_exact(k: int) -> float:
+    """Theorem 5's construction gives exactly ``H_k`` in the limit."""
+    return harmonic_number(k)
+
+
+def lwd_lower_bound_contiguous(buffer_size: int) -> float:
+    """Theorem 6: LWD is at least ``4/3 - 6/B``-competitive in the
+    contiguous case (works 1, 2, 3, 6; requires ``k >= 6``)."""
+    return 4.0 / 3.0 - 6.0 / buffer_size
+
+
+def lwd_lower_bound_uniform() -> float:
+    """LWD inherits LQD's ``sqrt(2)`` lower bound under uniform work
+    (Aiello et al.), since the two coincide there."""
+    return math.sqrt(2.0)
+
+
+def lwd_upper_bound() -> float:
+    """Theorem 7 (the paper's main result): LWD is at most 2-competitive."""
+    return 2.0
+
+
+# ---------------------------------------------------------------------------
+# Heterogeneous values (Section IV)
+# ---------------------------------------------------------------------------
+
+
+def greedy_value_lower_bound(k: int) -> float:
+    """Section IV-B: any greedy non-push-out policy is at least
+    ``k``-competitive in the value model (fill with 1s, then send ks)."""
+    return float(k)
+
+
+def lqd_value_lower_bound(k: int) -> float:
+    """Theorem 9 (asymptotic): value-model LQD is at least
+    ``cbrt(k) - o(cbrt(k))``-competitive."""
+    return k ** (1.0 / 3.0)
+
+
+def lqd_value_lower_bound_finite(k: int, a: int) -> float:
+    """Theorem 9, finite parameters: ``(a(a-1)/2 + k) / (a(a-1)/2 + k/a)``."""
+    half = 0.5 * a * (a - 1)
+    return (half + k) / (half + k / a)
+
+
+def mvd_lower_bound(k: int, buffer_size: int) -> float:
+    """Theorem 10: MVD is at least ``(m-1)/2``-competitive,
+    ``m = min(k, B)``."""
+    m = min(k, buffer_size)
+    return (m - 1) / 2.0
+
+
+def mrd_lower_bound_port_values() -> float:
+    """Theorem 11: MRD is at least ``4/3``-competitive when values are
+    port-determined."""
+    return 4.0 / 3.0
+
+
+def mrd_lower_bound_uniform_values() -> float:
+    """MRD emulates LQD under unit values, inheriting the ``sqrt(2)``
+    bound of Aiello et al."""
+    return math.sqrt(2.0)
+
+
+def any_online_lower_bound_value_model() -> float:
+    """The 4/3 lower bound on *any* online policy in the shared-memory
+    model with unit values (Aiello et al.), which the paper notes carries
+    over to the value model."""
+    return 4.0 / 3.0

@@ -1,0 +1,129 @@
+"""Single-slot walkthroughs: Fig. 2 and Fig. 4 as inspectable data.
+
+The paper's Fig. 2 (processing model) and Fig. 4 (value model) each show
+one time slot of several policies acting on the same pre-filled buffer
+and the same arrival burst. This module produces that comparison as
+structured data: seed a buffer state, offer a burst to each policy on
+its own copy, record every admission verdict and the transmission
+outcome. The `examples/` walkthrough scripts are thin presenters over
+this; tests assert the verdict tables directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from repro.core.config import SwitchConfig
+from repro.core.decisions import ACCEPT, Action
+from repro.core.errors import ConfigError
+from repro.core.packet import Packet
+from repro.core.switch import SharedMemorySwitch
+from repro.policies import make_policy
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One arrival's fate under one policy."""
+
+    port: int
+    work: int
+    value: float
+    action: Action
+    victim_port: int | None
+
+    def describe(self) -> str:
+        if self.action is Action.ACCEPT:
+            return "accept"
+        if self.action is Action.DROP:
+            return "drop"
+        return f"push out tail of Q{self.victim_port}, accept"
+
+
+@dataclass
+class PolicySlot:
+    """One policy's view of the walkthrough slot."""
+
+    policy_name: str
+    verdicts: List[Verdict] = field(default_factory=list)
+    queues_before: List[List[float]] = field(default_factory=list)
+    queues_after_arrivals: List[List[float]] = field(default_factory=list)
+    queues_end: List[List[float]] = field(default_factory=list)
+    transmitted_ports: List[int] = field(default_factory=list)
+    transmitted_value: float = 0.0
+
+    def verdict_for(self, index: int) -> Verdict:
+        return self.verdicts[index]
+
+
+@dataclass
+class Walkthrough:
+    """The full multi-policy comparison for one slot."""
+
+    config: SwitchConfig
+    slots: Dict[str, PolicySlot]
+
+    def __getitem__(self, policy_name: str) -> PolicySlot:
+        return self.slots[policy_name]
+
+
+def _snapshot(switch: SharedMemorySwitch, by_value: bool) -> List[List[float]]:
+    out: List[List[float]] = []
+    for queue in switch.queues:
+        if by_value:
+            out.append([p.value for p in queue])
+        else:
+            out.append([float(p.residual) for p in queue])
+    return out
+
+
+def run_walkthrough(
+    config: SwitchConfig,
+    backlog: Mapping[int, Sequence[float]],
+    arrivals: Sequence[Packet],
+    policy_names: Sequence[str],
+) -> Walkthrough:
+    """Offer the same slot to each policy on its own pre-filled switch.
+
+    ``backlog`` maps port -> per-packet markers: packet *values* for the
+    value model, ignored (the port's work is used) for the processing
+    model — each entry seeds one packet.
+    """
+    if not policy_names:
+        raise ConfigError("walkthrough needs at least one policy")
+    from repro.core.config import QueueDiscipline
+
+    by_value = config.discipline is QueueDiscipline.PRIORITY
+    slots: Dict[str, PolicySlot] = {}
+    for name in policy_names:
+        policy = make_policy(name)
+        switch = SharedMemorySwitch(config)
+        for port, markers in backlog.items():
+            for marker in markers:
+                packet = Packet(
+                    port=port,
+                    work=config.work_of(port),
+                    value=float(marker) if by_value else 1.0,
+                )
+                switch.apply(packet, ACCEPT)
+
+        record = PolicySlot(policy_name=name)
+        record.queues_before = _snapshot(switch, by_value)
+        for packet in arrivals:
+            decision = switch.offer(packet, policy)
+            record.verdicts.append(
+                Verdict(
+                    port=packet.port,
+                    work=packet.work,
+                    value=packet.value,
+                    action=decision.action,
+                    victim_port=decision.victim_port,
+                )
+            )
+        record.queues_after_arrivals = _snapshot(switch, by_value)
+        done = switch.transmission_phase()
+        record.transmitted_ports = [p.port for p in done]
+        record.transmitted_value = sum(p.value for p in done)
+        record.queues_end = _snapshot(switch, by_value)
+        slots[name] = record
+    return Walkthrough(config=config, slots=slots)

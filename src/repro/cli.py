@@ -1,0 +1,267 @@
+"""Command-line interface: ``python -m repro`` / ``shmem-switch``.
+
+Subcommands
+-----------
+``list``
+    Show all experiments (Fig. 5 panels and theorem validations).
+``policies``
+    Show all registered buffer-management policies.
+``run EXPERIMENT``
+    Run a Fig. 5 panel (prints the ratio table, optionally writes CSV) or
+    a theorem validation (prints measured vs. predicted ratio).
+``scenario THM``
+    Run an adversarial construction with custom ``--k/--buffer`` sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.competitive import run_scenario
+from repro.analysis.sweep import SweepResult
+from repro.core.errors import ReproError
+from repro.experiments.registry import (
+    describe_experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.policies import available_policies
+from repro.traffic.adversarial import ALL_SCENARIOS
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for experiment_id in list_experiments():
+        print(f"{experiment_id:10s} {describe_experiment(experiment_id)}")
+    return 0
+
+
+def _cmd_policies(_args: argparse.Namespace) -> int:
+    for entry in available_policies():
+        models = "/".join(sorted(entry.models))
+        print(f"{entry.name:8s} [{models:16s}] {entry.summary}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(
+        args.experiment, n_slots=args.slots, seeds=args.seeds
+    )
+    if isinstance(result, SweepResult):
+        print(f"# {args.experiment}: {describe_experiment(args.experiment)}")
+        print(result.format_table())
+        if args.plot:
+            from repro.viz import render_sweep
+
+            print()
+            print(render_sweep(result))
+        if args.out:
+            result.to_csv(args.out)
+            print(f"# wrote {args.out}")
+    elif hasattr(result, "format_table"):
+        print(f"# {args.experiment}: {describe_experiment(args.experiment)}")
+        print(result.format_table())
+    else:
+        scenario, outcome = result
+        print(f"# {scenario.name} ({scenario.theorem})")
+        print(f"target policy   : {scenario.target_policy}")
+        print(f"predicted ratio : {scenario.predicted_ratio:.4f}")
+        print(f"measured ratio  : {outcome.ratio:.4f}")
+        print(f"notes           : {scenario.notes}")
+    return 0
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    """Run the Theorem 7 mapping certificate on an adversarial trace."""
+    from repro.analysis.mapping import certify_lwd
+    from repro.opt.scripted import ScriptedPolicy
+
+    builder = ALL_SCENARIOS.get(args.theorem)
+    if builder is None:
+        print(
+            f"unknown theorem {args.theorem!r}; known: "
+            + ", ".join(ALL_SCENARIOS),
+            file=sys.stderr,
+        )
+        return 2
+    kwargs = {"buffer_size": args.buffer}
+    if args.theorem not in {"thm6", "thm11"}:
+        kwargs["k"] = args.k
+    scenario = builder(**kwargs)
+    if scenario.by_value or scenario.config.speedup != 1:
+        print(
+            "the Theorem 7 certificate applies to processing-model "
+            "scenarios with C = 1",
+            file=sys.stderr,
+        )
+        return 2
+    report = certify_lwd(scenario.trace, scenario.config, ScriptedPolicy())
+    print(f"# Theorem 7 certificate on {scenario.name}")
+    print(report.summary())
+    for violation in report.violations:
+        print(f"  {violation}")
+    return 0 if report.certified else 1
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    """Probe a value-model policy against the exhaustive true OPT."""
+    from repro.analysis.conjecture import adversarial_search, probe_policy
+
+    report = probe_policy(
+        args.policy, trials=args.trials, seed=args.seed
+    )
+    print(report.summary())
+    if args.climb:
+        found = adversarial_search(
+            args.policy,
+            restarts=args.restarts,
+            steps_per_restart=args.steps,
+            seed=args.seed,
+        )
+        print(
+            f"hill-climb worst ratio: {found.ratio:.4f} "
+            f"(instance: {found.arrivals})"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Generate the full reproduction report."""
+    from repro.experiments.report import ReportOptions, write_report
+
+    options = ReportOptions(
+        n_slots=args.slots,
+        seeds=tuple(args.seeds),
+        include_panels=args.panels,
+    )
+    write_report(args.out, options)
+    print(f"# wrote {args.out}")
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    builder = ALL_SCENARIOS.get(args.theorem)
+    if builder is None:
+        print(
+            f"unknown theorem {args.theorem!r}; known: "
+            + ", ".join(ALL_SCENARIOS),
+            file=sys.stderr,
+        )
+        return 2
+    kwargs = {}
+    if args.theorem in {"thm6", "thm11"}:
+        kwargs["buffer_size"] = args.buffer
+    else:
+        kwargs["k"] = args.k
+        kwargs["buffer_size"] = args.buffer
+    scenario = builder(**kwargs)
+    outcome = run_scenario(scenario)
+    print(f"# {scenario.name} ({scenario.theorem})")
+    print(f"target policy   : {scenario.target_policy}")
+    print(f"predicted ratio : {scenario.predicted_ratio:.4f}")
+    print(f"measured ratio  : {outcome.ratio:.4f}")
+    print(f"notes           : {scenario.notes}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="shmem-switch",
+        description=(
+            "Shared-memory switch buffer management (ICDCS 2014 "
+            "reproduction): run experiments and validations"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(
+        func=_cmd_list
+    )
+    sub.add_parser("policies", help="list policies").set_defaults(
+        func=_cmd_policies
+    )
+
+    run_parser = sub.add_parser("run", help="run an experiment by id")
+    run_parser.add_argument("experiment", help="e.g. fig5-1 or thm6")
+    run_parser.add_argument(
+        "--slots", type=int, default=None,
+        help="simulation length in slots (Fig. 5 panels)",
+    )
+    run_parser.add_argument(
+        "--seeds", type=int, nargs="+", default=None,
+        help="replication seeds (Fig. 5 panels)",
+    )
+    run_parser.add_argument("--out", default=None, help="CSV output path")
+    run_parser.add_argument(
+        "--plot", action="store_true",
+        help="render the sweep as an ASCII chart after the table",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    scen_parser = sub.add_parser(
+        "scenario", help="run an adversarial construction at custom sizes"
+    )
+    scen_parser.add_argument(
+        "theorem",
+        help="thm1/thm3/thm4/thm5/thm6/thm9/thm10/thm11/greedy",
+    )
+    scen_parser.add_argument("--k", type=int, default=12)
+    scen_parser.add_argument("--buffer", type=int, default=240)
+    scen_parser.set_defaults(func=_cmd_scenario)
+
+    certify_parser = sub.add_parser(
+        "certify",
+        help="run the Theorem 7 mapping certificate on a theorem trace",
+    )
+    certify_parser.add_argument(
+        "theorem", help="a processing-model construction, e.g. thm4 or thm6"
+    )
+    certify_parser.add_argument("--k", type=int, default=9)
+    certify_parser.add_argument("--buffer", type=int, default=108)
+    certify_parser.set_defaults(func=_cmd_certify)
+
+    probe_parser = sub.add_parser(
+        "probe",
+        help="probe a value-model policy against the exhaustive true OPT",
+    )
+    probe_parser.add_argument("policy", help="e.g. MRD, MVD, LQD-V, Greedy")
+    probe_parser.add_argument("--trials", type=int, default=200)
+    probe_parser.add_argument("--seed", type=int, default=0)
+    probe_parser.add_argument(
+        "--climb", action="store_true",
+        help="also run the adversarial hill-climb",
+    )
+    probe_parser.add_argument("--restarts", type=int, default=5)
+    probe_parser.add_argument("--steps", type=int, default=60)
+    probe_parser.set_defaults(func=_cmd_probe)
+
+    report_parser = sub.add_parser(
+        "report",
+        help="run everything and write a Markdown reproduction report",
+    )
+    report_parser.add_argument("--out", default="report.md")
+    report_parser.add_argument("--slots", type=int, default=1000)
+    report_parser.add_argument(
+        "--seeds", type=int, nargs="+", default=[0]
+    )
+    report_parser.add_argument(
+        "--panels", type=int, nargs="*", default=None,
+        help="restrict to these Fig. 5 panels (default: all nine)",
+    )
+    report_parser.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

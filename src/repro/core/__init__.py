@@ -1,0 +1,39 @@
+"""Core model: packets, queues, configuration, and the switch engine."""
+
+from repro.core.config import PortSpec, QueueDiscipline, SwitchConfig
+from repro.core.decisions import ACCEPT, DROP, Action, Decision, push_out
+from repro.core.errors import (
+    ConfigError,
+    ExperimentError,
+    PolicyError,
+    ReproError,
+    TraceError,
+)
+from repro.core.metrics import SwitchMetrics
+from repro.core.packet import Packet
+from repro.core.queues import FifoQueue, OutputQueue, ValuePriorityQueue
+from repro.core.switch import AdmissionPolicy, SharedMemorySwitch, SwitchView
+
+__all__ = [
+    "ACCEPT",
+    "DROP",
+    "Action",
+    "AdmissionPolicy",
+    "ConfigError",
+    "Decision",
+    "ExperimentError",
+    "FifoQueue",
+    "OutputQueue",
+    "Packet",
+    "PolicyError",
+    "PortSpec",
+    "QueueDiscipline",
+    "ReproError",
+    "SharedMemorySwitch",
+    "SwitchConfig",
+    "SwitchMetrics",
+    "SwitchView",
+    "TraceError",
+    "ValuePriorityQueue",
+    "push_out",
+]

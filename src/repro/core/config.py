@@ -1,0 +1,248 @@
+"""Switch configuration: buffer size, output ports, discipline, speedup.
+
+The paper's model (Sections III-A and IV-A) is an ``l x n`` shared-memory
+switch with a buffer of ``B`` unit-sized packet slots shared by ``n`` output
+queues. Input ports only define arrival order, which traces linearize, so
+the configuration describes output ports only.
+
+Section III constrains all packets admitted to a queue to share that
+queue's processing requirement ``w_i`` (two distinct queues may still share
+the same requirement); :class:`PortSpec.work` records it. Section IV's
+special case where a packet's value is uniquely determined by its output
+port is captured by :class:`PortSpec.value`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.errors import ConfigError
+
+
+class QueueDiscipline(enum.Enum):
+    """Per-queue processing order.
+
+    ``FIFO`` is the order of the heterogeneous-processing model (Section
+    III): because every packet in a queue requires the same work, FIFO is
+    sufficient and no priority structure is needed. ``PRIORITY`` is the
+    order of the heterogeneous-value model (Section IV): each output queue
+    keeps packets in non-increasing value order and transmits the most
+    valuable packet first, which the paper notes can only improve on FIFO.
+    """
+
+    FIFO = "fifo"
+    PRIORITY = "priority"
+
+
+@dataclass(frozen=True, slots=True)
+class PortSpec:
+    """Static description of one output port.
+
+    Parameters
+    ----------
+    work:
+        Required processing cycles for every packet destined to this port
+        (heterogeneous-processing model). Must be ``>= 1``.
+    value:
+        Intrinsic value assigned to packets of this port by port-determined
+        traffic generators (value model, "value equals port" special case).
+        Must be ``> 0``. Generators in the uniform-value regime ignore it.
+    """
+
+    work: int = 1
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.work < 1:
+            raise ConfigError(f"port work must be >= 1, got {self.work}")
+        if self.value <= 0:
+            raise ConfigError(f"port value must be > 0, got {self.value}")
+
+
+@dataclass(frozen=True)
+class SwitchConfig:
+    """Immutable configuration of a shared-memory switch.
+
+    Parameters
+    ----------
+    buffer_size:
+        Total shared buffer capacity ``B`` in packets. The paper assumes
+        ``B >= n``; we validate that.
+    ports:
+        One :class:`PortSpec` per output port. Port indices are 0-based.
+    speedup:
+        Number of processing cores per output queue, ``C`` in the paper's
+        simulation study (Fig. 5, panels 3/6/9). Each non-empty queue gives
+        one processing cycle per slot to each of its first
+        ``min(C, |Q|)`` packets.
+    discipline:
+        Per-queue processing order; see :class:`QueueDiscipline`.
+    """
+
+    buffer_size: int
+    ports: tuple[PortSpec, ...]
+    speedup: int = 1
+    discipline: QueueDiscipline = QueueDiscipline.FIFO
+
+    def __post_init__(self) -> None:
+        if not self.ports:
+            raise ConfigError("switch needs at least one output port")
+        if self.buffer_size < len(self.ports):
+            raise ConfigError(
+                f"buffer size B={self.buffer_size} must be >= number of "
+                f"ports n={len(self.ports)} (paper assumption B >= n)"
+            )
+        if self.speedup < 1:
+            raise ConfigError(f"speedup must be >= 1, got {self.speedup}")
+        if not isinstance(self.discipline, QueueDiscipline):
+            raise ConfigError(f"bad discipline: {self.discipline!r}")
+
+    # ------------------------------------------------------------------
+    # Derived quantities used throughout the paper's formulas.
+    # ------------------------------------------------------------------
+
+    @property
+    def n_ports(self) -> int:
+        """Number of output ports ``n``."""
+        return len(self.ports)
+
+    @property
+    def works(self) -> tuple[int, ...]:
+        """Per-port required work ``(w_0, ..., w_{n-1})``."""
+        return tuple(p.work for p in self.ports)
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        """Per-port intrinsic value (port-determined value model)."""
+        return tuple(p.value for p in self.ports)
+
+    @property
+    def max_work(self) -> int:
+        """The paper's ``k``: the global bound on per-packet work."""
+        return max(p.work for p in self.ports)
+
+    @property
+    def max_value(self) -> float:
+        """Maximal per-port value (the value model's ``k`` when values
+        are port-determined)."""
+        return max(p.value for p in self.ports)
+
+    @property
+    def inverse_work_sum(self) -> float:
+        """The paper's ``Z = sum_i 1/w_i`` used by the NHST thresholds."""
+        return sum(1.0 / p.work for p in self.ports)
+
+    def work_of(self, port: int) -> int:
+        """Required work of packets destined to ``port``."""
+        return self.ports[port].work
+
+    def value_of(self, port: int) -> float:
+        """Port-determined value of ``port`` (value model special case)."""
+        return self.ports[port].value
+
+    # ------------------------------------------------------------------
+    # Convenience constructors for the configurations used in the paper.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def contiguous(
+        cls,
+        k: int,
+        buffer_size: int,
+        speedup: int = 1,
+    ) -> "SwitchConfig":
+        """The paper's *contiguous* configuration: ``k`` output ports with
+        required work ``w_i = i`` for ``i = 1..k`` (Section III-B uses this
+        single configuration for all lower bounds)."""
+        if k < 1:
+            raise ConfigError(f"contiguous configuration needs k >= 1, got {k}")
+        ports = tuple(PortSpec(work=i) for i in range(1, k + 1))
+        return cls(buffer_size=buffer_size, ports=ports, speedup=speedup)
+
+    @classmethod
+    def uniform(
+        cls,
+        n_ports: int,
+        buffer_size: int,
+        work: int = 1,
+        speedup: int = 1,
+        discipline: QueueDiscipline = QueueDiscipline.FIFO,
+    ) -> "SwitchConfig":
+        """``n`` identical ports, each requiring ``work`` cycles.
+
+        With ``work=1`` this is the classical shared-memory switch model of
+        Aiello et al. that both of the paper's models generalize.
+        """
+        ports = tuple(PortSpec(work=work) for _ in range(n_ports))
+        return cls(
+            buffer_size=buffer_size,
+            ports=ports,
+            speedup=speedup,
+            discipline=discipline,
+        )
+
+    @classmethod
+    def from_works(
+        cls,
+        works: Iterable[int],
+        buffer_size: int,
+        speedup: int = 1,
+    ) -> "SwitchConfig":
+        """A processing-model switch with explicit per-port works."""
+        ports = tuple(PortSpec(work=w) for w in works)
+        return cls(buffer_size=buffer_size, ports=ports, speedup=speedup)
+
+    @classmethod
+    def value_ports(
+        cls,
+        values: Sequence[float],
+        buffer_size: int,
+        speedup: int = 1,
+    ) -> "SwitchConfig":
+        """A value-model switch (unit work, priority queues) whose ports
+        carry the given intrinsic values.
+
+        With ``values = (1, 2, ..., k)`` this is the configuration of the
+        paper's Theorems 9-11 and Fig. 5 panels 7-9, where a packet's value
+        is uniquely determined by its output port label.
+        """
+        ports = tuple(PortSpec(work=1, value=v) for v in values)
+        return cls(
+            buffer_size=buffer_size,
+            ports=ports,
+            speedup=speedup,
+            discipline=QueueDiscipline.PRIORITY,
+        )
+
+    @classmethod
+    def value_contiguous(
+        cls,
+        k: int,
+        buffer_size: int,
+        speedup: int = 1,
+    ) -> "SwitchConfig":
+        """Value-model analogue of :meth:`contiguous`: ``k`` ports with
+        value ``i`` for port ``i = 1..k``."""
+        if k < 1:
+            raise ConfigError(f"need k >= 1, got {k}")
+        return cls.value_ports(
+            tuple(float(i) for i in range(1, k + 1)),
+            buffer_size=buffer_size,
+            speedup=speedup,
+        )
+
+    def describe(self) -> str:
+        """A one-line human-readable summary (used by CLI and logs)."""
+        works = self.works
+        if len(set(works)) == 1:
+            work_desc = f"w={works[0]}"
+        elif works == tuple(range(1, len(works) + 1)):
+            work_desc = f"contiguous w=1..{len(works)}"
+        else:
+            work_desc = f"works={works}"
+        return (
+            f"SwitchConfig(n={self.n_ports}, B={self.buffer_size}, "
+            f"C={self.speedup}, {self.discipline.value}, {work_desc})"
+        )

@@ -1,0 +1,58 @@
+"""Admission decisions returned by buffer-management policies.
+
+During the arrival phase the switch asks its policy what to do with each
+arriving packet; the answer is a :class:`Decision`:
+
+* ``ACCEPT`` — enqueue the packet at its destination queue (requires a free
+  buffer slot).
+* ``DROP`` — reject the arriving packet.
+* ``PUSH_OUT`` — drop the *tail* packet of ``victim_port``'s queue to make
+  room, then enqueue the arriving packet at its own destination queue. In
+  the paper's terminology the tail packet is "the last packet" of the
+  victim queue: the most recent arrival for FIFO queues, the lowest-value
+  packet for value-model priority queues.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Action(enum.Enum):
+    """The three possible outcomes of an admission decision."""
+
+    ACCEPT = "accept"
+    DROP = "drop"
+    PUSH_OUT = "push_out"
+
+
+@dataclass(frozen=True, slots=True)
+class Decision:
+    """A policy's verdict for one arriving packet.
+
+    Use the :data:`ACCEPT`/:data:`DROP` singletons or
+    :func:`push_out` rather than constructing instances directly.
+    """
+
+    action: Action
+    victim_port: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.action is Action.PUSH_OUT and self.victim_port is None:
+            raise ValueError("PUSH_OUT decision requires a victim port")
+        if self.action is not Action.PUSH_OUT and self.victim_port is not None:
+            raise ValueError(f"{self.action} decision cannot carry a victim")
+
+
+#: Singleton decision: accept the arriving packet (buffer must have space).
+ACCEPT = Decision(Action.ACCEPT)
+
+#: Singleton decision: drop the arriving packet.
+DROP = Decision(Action.DROP)
+
+
+def push_out(victim_port: int) -> Decision:
+    """Decision: drop the tail of ``victim_port``'s queue, then accept."""
+    return Decision(Action.PUSH_OUT, victim_port)

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch one base class at an API boundary.
+Programming errors (violated internal invariants) raise plain
+:class:`AssertionError` and are never part of the public contract.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid switch, traffic, or experiment configuration.
+
+    Raised eagerly at construction time so that simulations never start
+    from an inconsistent state (e.g. a buffer smaller than the number of
+    output ports, or a packet work requirement outside ``[1, k]``).
+    """
+
+
+class PolicyError(ReproError):
+    """A buffer-management policy returned an inadmissible decision.
+
+    Examples: pushing out from an empty queue, accepting a packet when the
+    buffer is full without naming a push-out victim, or naming a victim
+    queue that does not exist.
+    """
+
+
+class TraceError(ReproError):
+    """A malformed arrival trace (bad port label, bad work/value, bad slot)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment specification could not be resolved or executed."""

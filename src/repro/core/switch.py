@@ -1,0 +1,301 @@
+"""The shared-memory switch simulation engine.
+
+Implements the slotted-time model of Sections III-A / IV-A of the paper:
+
+* **Arrival phase.** A burst of packets arrives (traces linearize the
+  paper's fixed input-port service order into a single sequence). For each
+  packet, the buffer-management policy returns a :class:`~repro.core.
+  decisions.Decision`; the switch validates and applies it. Push-out drops
+  the *tail* packet of the victim queue before enqueuing the arrival.
+
+* **Transmission phase.** Every non-empty output queue hands one processing
+  cycle to each of its first ``min(C, |Q|)`` packets, where ``C`` is the
+  configured speedup; packets whose residual work reaches zero are
+  transmitted. Queues are served in increasing port order, which matches
+  the well-defined per-port processing order the paper's Theorem 7 proof
+  relies on.
+
+The engine enforces model invariants — buffer occupancy never exceeds
+``B``, per-port work constraints hold, push-out is only meaningful when it
+frees space — and raises :class:`~repro.core.errors.PolicyError` when a
+policy violates the contract, rather than silently producing wrong
+competitive ratios.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Protocol, Sequence
+
+from repro.core.config import QueueDiscipline, SwitchConfig
+from repro.core.decisions import Action, Decision
+from repro.core.errors import PolicyError, TraceError
+from repro.core.metrics import SwitchMetrics
+from repro.core.packet import Packet
+from repro.core.queues import FifoQueue, OutputQueue, ValuePriorityQueue
+
+
+class SwitchView:
+    """Read-only facade over a switch, handed to policies.
+
+    Policies must base decisions only on observable state: queue contents,
+    occupancy, and the static configuration. The view exposes exactly
+    that — it holds the switch privately and forwards queries.
+    """
+
+    __slots__ = ("_switch",)
+
+    def __init__(self, switch: "SharedMemorySwitch") -> None:
+        self._switch = switch
+
+    @property
+    def config(self) -> SwitchConfig:
+        return self._switch.config
+
+    @property
+    def n_ports(self) -> int:
+        return self._switch.config.n_ports
+
+    @property
+    def buffer_size(self) -> int:
+        return self._switch.config.buffer_size
+
+    @property
+    def occupancy(self) -> int:
+        return self._switch.occupancy
+
+    @property
+    def is_full(self) -> bool:
+        return self._switch.occupancy >= self._switch.config.buffer_size
+
+    @property
+    def free_space(self) -> int:
+        return self._switch.config.buffer_size - self._switch.occupancy
+
+    def queue_len(self, port: int) -> int:
+        return len(self._switch.queues[port])
+
+    def total_work(self, port: int) -> int:
+        """The paper's ``W_i``: sum of residual work in queue ``port``."""
+        return self._switch.queues[port].total_work
+
+    def total_value(self, port: int) -> float:
+        return self._switch.queues[port].total_value
+
+    def avg_value(self, port: int) -> float:
+        """The paper's ``a_j``: average value in queue ``port``."""
+        return self._switch.queues[port].avg_value
+
+    def min_value(self, port: int) -> float:
+        return self._switch.queues[port].min_value
+
+    def tail_value(self, port: int) -> float:
+        """Value of the packet a push-out at ``port`` would evict."""
+        return self._switch.queues[port].peek_tail().value
+
+    def work_of(self, port: int) -> int:
+        return self._switch.config.work_of(port)
+
+    def nonempty_ports(self) -> List[int]:
+        return [
+            q.port for q in self._switch.queues if len(q) > 0
+        ]
+
+    def queue_packets(self, port: int) -> List[Packet]:
+        """Snapshot of queue contents head-to-tail (tests and debugging)."""
+        return list(self._switch.queues[port])
+
+    def buffer_min_value(self) -> Optional[float]:
+        """The minimal value over all buffered packets, or ``None`` when
+        the buffer is empty. Used by MVD/MRD admission tests."""
+        best: Optional[float] = None
+        for queue in self._switch.queues:
+            if len(queue) == 0:
+                continue
+            candidate = queue.min_value
+            if best is None or candidate < best:
+                best = candidate
+        return best
+
+
+class AdmissionPolicy(Protocol):
+    """Structural interface every buffer-management policy satisfies."""
+
+    name: str
+
+    def admit(self, view: SwitchView, packet: Packet) -> Decision:
+        """Decide the fate of one arriving packet."""
+        ...
+
+
+class SharedMemorySwitch:
+    """An ``n``-port output-queued switch with a shared buffer of ``B`` slots.
+
+    The switch is policy-agnostic: it owns state (queues, occupancy,
+    metrics) and mechanics (arrival application, transmission), while all
+    admission intelligence lives in the policy object passed to
+    :meth:`arrival_phase` / :meth:`run_slot`.
+    """
+
+    def __init__(self, config: SwitchConfig) -> None:
+        self.config = config
+        queue_cls = (
+            FifoQueue
+            if config.discipline is QueueDiscipline.FIFO
+            else ValuePriorityQueue
+        )
+        self.queues: List[OutputQueue] = [
+            queue_cls(port) for port in range(config.n_ports)
+        ]
+        self.occupancy = 0
+        self.metrics = SwitchMetrics(n_ports=config.n_ports)
+        self.view = SwitchView(self)
+        self.current_slot = 0
+
+    # ------------------------------------------------------------------
+    # Arrival phase
+    # ------------------------------------------------------------------
+
+    def arrival_phase(
+        self, arrivals: Iterable[Packet], policy: AdmissionPolicy
+    ) -> None:
+        """Offer each arriving packet to ``policy`` and apply its decision.
+
+        Packets are considered strictly in iteration order, one at a time,
+        exactly as the paper's model serves input ports in a fixed order.
+        """
+        for packet in arrivals:
+            self.offer(packet, policy)
+
+    def offer(self, packet: Packet, policy: AdmissionPolicy) -> Decision:
+        """Process a single arrival; returns the decision for observability."""
+        self._validate_arrival(packet)
+        self.metrics.record_arrival(packet)
+        decision = policy.admit(self.view, packet)
+        self.apply(packet, decision)
+        return decision
+
+    def apply(self, packet: Packet, decision: Decision) -> None:
+        """Validate and execute a policy decision for ``packet``."""
+        if decision.action is Action.DROP:
+            self.metrics.record_drop(packet)
+            return
+
+        if decision.action is Action.PUSH_OUT:
+            victim_port = decision.victim_port
+            assert victim_port is not None  # enforced by Decision
+            if not 0 <= victim_port < self.config.n_ports:
+                raise PolicyError(
+                    f"push-out victim port {victim_port} out of range"
+                )
+            victim_queue = self.queues[victim_port]
+            if len(victim_queue) == 0:
+                raise PolicyError(
+                    f"policy pushed out from empty queue {victim_port}"
+                )
+            victim = victim_queue.drop_tail()
+            self.occupancy -= 1
+            self.metrics.record_push_out(victim)
+            # Fall through to accept the arriving packet.
+
+        if self.occupancy >= self.config.buffer_size:
+            raise PolicyError(
+                "policy accepted a packet into a full buffer "
+                f"(occupancy={self.occupancy}, B={self.config.buffer_size})"
+            )
+        admitted = packet.fresh_copy()
+        self.queues[packet.port].admit(admitted)
+        self.occupancy += 1
+        self.metrics.record_accept(admitted)
+
+    def _validate_arrival(self, packet: Packet) -> None:
+        if not 0 <= packet.port < self.config.n_ports:
+            raise TraceError(
+                f"packet destined to port {packet.port}, switch has "
+                f"{self.config.n_ports} ports"
+            )
+        if (
+            self.config.discipline is QueueDiscipline.FIFO
+            and packet.work != self.config.work_of(packet.port)
+        ):
+            raise TraceError(
+                f"packet work {packet.work} violates per-port requirement "
+                f"w_{packet.port}={self.config.work_of(packet.port)} "
+                "(Section III model constraint)"
+            )
+
+    # ------------------------------------------------------------------
+    # Transmission phase
+    # ------------------------------------------------------------------
+
+    def transmission_phase(self) -> List[Packet]:
+        """Process every non-empty queue once and collect transmissions."""
+        transmitted: List[Packet] = []
+        for queue in self.queues:
+            if len(queue) == 0:
+                continue
+            done = queue.process(self.config.speedup)
+            if done:
+                self.occupancy -= len(done)
+                transmitted.extend(done)
+        self.metrics.record_transmissions(transmitted, slot=self.current_slot)
+        return transmitted
+
+    # ------------------------------------------------------------------
+    # Whole slots and maintenance
+    # ------------------------------------------------------------------
+
+    def run_slot(
+        self, arrivals: Sequence[Packet], policy: AdmissionPolicy
+    ) -> List[Packet]:
+        """One full time slot: arrival phase then transmission phase."""
+        self.arrival_phase(arrivals, policy)
+        transmitted = self.transmission_phase()
+        self.metrics.record_slot(self.occupancy)
+        self.current_slot += 1
+        return transmitted
+
+    def flush(self) -> int:
+        """Clear all queues without transmission credit; returns the count.
+
+        Implements the paper's periodic "flushouts" (Section V-A).
+        """
+        dropped: List[Packet] = []
+        for queue in self.queues:
+            dropped.extend(queue.clear())
+        self.occupancy = 0
+        self.metrics.record_flush(dropped)
+        return len(dropped)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if internal accounting is inconsistent.
+
+        Called liberally by the test suite; cheap enough to sprinkle into
+        long-running experiments when debugging.
+        """
+        total = sum(len(q) for q in self.queues)
+        assert total == self.occupancy, (
+            f"occupancy {self.occupancy} != queued packets {total}"
+        )
+        assert 0 <= self.occupancy <= self.config.buffer_size
+        for queue in self.queues:
+            expect_work = sum(p.residual for p in queue)
+            assert expect_work == queue.total_work, (
+                f"queue {queue.port}: tracked work {queue.total_work} != "
+                f"actual {expect_work}"
+            )
+            expect_value = sum(p.value for p in queue)
+            assert abs(expect_value - queue.total_value) < 1e-9
+            for packet in queue:
+                assert packet.residual >= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lens = ",".join(str(len(q)) for q in self.queues)
+        return (
+            f"SharedMemorySwitch(slot={self.current_slot}, "
+            f"occupancy={self.occupancy}/{self.config.buffer_size}, "
+            f"queues=[{lens}])"
+        )

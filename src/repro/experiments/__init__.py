@@ -1,0 +1,67 @@
+"""Experiment registry: Fig. 5 panels and theorem validations."""
+
+from repro.experiments.fig5 import (
+    PANELS,
+    PROCESSING_POLICIES,
+    VALUE_PORT_POLICIES,
+    VALUE_UNIFORM_POLICIES,
+    PanelSpec,
+    run_panel,
+)
+from repro.experiments.architecture import (
+    ArchitectureResult,
+    ClassService,
+    run_architecture_comparison,
+)
+from repro.experiments.registry import (
+    THEOREM_EXPERIMENTS,
+    TheoremExperiment,
+    describe_experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.report import (
+    ReportOptions,
+    generate_report,
+    write_report,
+)
+from repro.experiments.robustness import (
+    DEFAULT_POLICIES,
+    RobustnessResult,
+    run_robustness_study,
+)
+from repro.experiments.skewed import (
+    DEFAULT_SKEWS,
+    SkewPoint,
+    SkewSweepResult,
+    run_skew_sweep,
+    skew_weights,
+)
+
+__all__ = [
+    "ArchitectureResult",
+    "ClassService",
+    "DEFAULT_POLICIES",
+    "DEFAULT_SKEWS",
+    "PANELS",
+    "RobustnessResult",
+    "PROCESSING_POLICIES",
+    "PanelSpec",
+    "ReportOptions",
+    "SkewPoint",
+    "SkewSweepResult",
+    "THEOREM_EXPERIMENTS",
+    "TheoremExperiment",
+    "VALUE_PORT_POLICIES",
+    "VALUE_UNIFORM_POLICIES",
+    "describe_experiment",
+    "generate_report",
+    "list_experiments",
+    "run_architecture_comparison",
+    "run_experiment",
+    "run_panel",
+    "run_robustness_study",
+    "run_skew_sweep",
+    "skew_weights",
+    "write_report",
+]

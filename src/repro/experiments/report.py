@@ -1,0 +1,106 @@
+"""One-command reproduction report.
+
+``shmem-switch report`` (or :func:`generate_report`) runs the whole
+reproduction — every theorem construction, every Fig. 5 panel, and the
+extension studies — at a configurable scale and renders a single
+Markdown document in the style of EXPERIMENTS.md, with this machine's
+measured numbers. Useful for checking a fork or an environment end to
+end, and as the artifact to attach when reporting results.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.competitive import run_scenario
+from repro.experiments.architecture import run_architecture_comparison
+from repro.experiments.fig5 import PANELS, run_panel
+from repro.experiments.registry import THEOREM_EXPERIMENTS
+from repro.experiments.robustness import run_robustness_study
+from repro.experiments.skewed import run_skew_sweep
+
+
+@dataclass
+class ReportOptions:
+    """Scale knobs for a report run."""
+
+    n_slots: int = 1000
+    seeds: Sequence[int] = (0,)
+    include_panels: Optional[Sequence[int]] = None  # default: all nine
+    include_theorems: bool = True
+    include_extensions: bool = True
+
+
+def generate_report(options: Optional[ReportOptions] = None) -> str:
+    """Run everything and return the Markdown report."""
+    options = options or ReportOptions()
+    out = io.StringIO()
+    started = time.perf_counter()
+
+    out.write("# Reproduction report\n\n")
+    out.write(
+        f"Scale: {options.n_slots} slots/point, seeds "
+        f"{list(options.seeds)}. Competitive ratio = OPT / ALG.\n\n"
+    )
+
+    if options.include_theorems:
+        out.write("## Lower-bound theorems\n\n")
+        out.write("| experiment | policy | predicted | measured | err |\n")
+        out.write("|---|---|---|---|---|\n")
+        for experiment in THEOREM_EXPERIMENTS.values():
+            scenario = experiment.build()
+            outcome = run_scenario(scenario)
+            err = 100 * (outcome.ratio / scenario.predicted_ratio - 1)
+            out.write(
+                f"| {scenario.theorem} | {scenario.target_policy} | "
+                f"{scenario.predicted_ratio:.4f} | {outcome.ratio:.4f} | "
+                f"{err:+.1f}% |\n"
+            )
+        out.write("\n")
+
+    panels = (
+        list(options.include_panels)
+        if options.include_panels is not None
+        else sorted(PANELS)
+    )
+    if panels:
+        out.write("## Fig. 5 panels\n\n")
+        for panel in panels:
+            spec = PANELS[panel]
+            result = run_panel(
+                panel, n_slots=options.n_slots, seeds=options.seeds
+            )
+            out.write(f"### Panel ({panel}): {spec.title}\n\n")
+            out.write("```\n")
+            out.write(result.format_table())
+            out.write("\n```\n\n")
+
+    if options.include_extensions:
+        out.write("## Extension studies\n\n")
+        out.write("### Architecture comparison (Fig. 1)\n\n```\n")
+        arch = run_architecture_comparison(n_slots=options.n_slots)
+        out.write(arch.format_table())
+        out.write("\n```\n\n")
+        out.write("### Ranking robustness across traffic families\n\n```\n")
+        robust = run_robustness_study(n_slots=options.n_slots)
+        out.write(robust.format_table())
+        out.write("\n```\n\n")
+        out.write("### Skewed port-value distributions\n\n```\n")
+        skew = run_skew_sweep(n_slots=options.n_slots)
+        out.write(skew.format_table())
+        out.write("\n```\n\n")
+
+    elapsed = time.perf_counter() - started
+    out.write(f"---\nGenerated in {elapsed:.1f}s.\n")
+    return out.getvalue()
+
+
+def write_report(path: str, options: Optional[ReportOptions] = None) -> str:
+    """Generate the report and write it to ``path``; returns the text."""
+    text = generate_report(options)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text

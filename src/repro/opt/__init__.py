@@ -1,0 +1,20 @@
+"""Reference algorithms the online policies are measured against."""
+
+from repro.opt.exhaustive import TinyInstance, exhaustive_opt
+from repro.opt.scripted import ScriptedPolicy
+from repro.opt.surrogate import (
+    MaxValueSurrogate,
+    SrptSurrogate,
+    System,
+    make_surrogate,
+)
+
+__all__ = [
+    "MaxValueSurrogate",
+    "ScriptedPolicy",
+    "SrptSurrogate",
+    "System",
+    "TinyInstance",
+    "exhaustive_opt",
+    "make_surrogate",
+]

@@ -1,0 +1,222 @@
+"""A *true* offline optimum for tiny instances, by memoized search.
+
+The paper never computes the real OPT ("computationally prohibitive") and
+validates against a single-PQ surrogate instead. For testing we can do
+better on small instances: because OPT may be assumed non-push-out (a
+pushed-out packet might as well never be admitted), the offline problem is
+a search over accept/drop decisions, one per arriving packet, subject to
+the shared-buffer constraint. This module solves it exactly with
+depth-first search memoized on a canonical buffer state.
+
+State canonicalization exploits the model structure:
+
+* processing model — every packet in queue ``i`` requires ``w_i`` cycles
+  and FIFO order holds, so a queue is fully described by its length and
+  its head packet's residual work;
+* value model — unit work, value order; a queue is a multiset of values,
+  canonicalized as a sorted tuple (transmitted value per slot depends only
+  on the multiset).
+
+Complexity is exponential in the number of arrivals; instances with up to
+roughly 20 arrivals and a handful of slots solve instantly, which is all
+the test oracle needs. :func:`exhaustive_opt` refuses (raises
+:class:`~repro.core.errors.ConfigError`) beyond a configurable budget
+instead of silently hanging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.config import QueueDiscipline, SwitchConfig
+from repro.core.errors import ConfigError
+
+# A processing-model queue state: residuals in FIFO order (head first).
+_ProcQueue = Tuple[int, ...]
+# A value-model queue state: sorted tuple of buffered values.
+_ValueQueue = Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class TinyInstance:
+    """A small offline instance: per-slot arrival lists of (port, value).
+
+    ``arrivals[t]`` lists the packets arriving in slot ``t`` in order; for
+    the processing model the packet work is implied by the port (per-model
+    constraint), for the value model each entry's value matters and work
+    is 1.
+    """
+
+    config: SwitchConfig
+    arrivals: Tuple[Tuple[Tuple[int, float], ...], ...]
+
+    @property
+    def total_arrivals(self) -> int:
+        return sum(len(slot) for slot in self.arrivals)
+
+
+def exhaustive_opt(
+    instance: TinyInstance,
+    by_value: bool | None = None,
+    max_arrivals: int = 22,
+    drain_slots: int | None = None,
+) -> float:
+    """The exact optimal offline objective for a tiny instance.
+
+    Parameters
+    ----------
+    instance:
+        The instance to solve.
+    by_value:
+        Objective: total transmitted value (true) or packet count (false).
+        Defaults to the model implied by the switch discipline.
+    max_arrivals:
+        Safety budget; instances with more arrivals are rejected.
+    drain_slots:
+        Number of arrival-free slots appended so buffered packets can
+        drain. Defaults to enough slots to empty a full buffer of
+        maximal-work packets.
+    """
+    config = instance.config
+    if by_value is None:
+        by_value = config.discipline is QueueDiscipline.PRIORITY
+    if instance.total_arrivals > max_arrivals:
+        raise ConfigError(
+            f"exhaustive OPT limited to {max_arrivals} arrivals, "
+            f"instance has {instance.total_arrivals}"
+        )
+    if drain_slots is None:
+        drain_slots = config.buffer_size * config.max_work + 1
+
+    slots: List[Tuple[Tuple[int, float], ...]] = list(instance.arrivals)
+    slots.extend([()] * drain_slots)
+
+    if config.discipline is QueueDiscipline.FIFO:
+        return _solve_processing(config, tuple(slots), by_value)
+    return _solve_value(config, tuple(slots), by_value)
+
+
+# ---------------------------------------------------------------------------
+# Processing model
+# ---------------------------------------------------------------------------
+
+
+def _solve_processing(
+    config: SwitchConfig,
+    slots: Tuple[Tuple[Tuple[int, float], ...], ...],
+    by_value: bool,
+) -> float:
+    works = config.works
+    buffer_size = config.buffer_size
+    cores = config.speedup
+    memo: Dict[Tuple[int, int, Tuple[_ProcQueue, ...]], float] = {}
+
+    def transmit(state: Tuple[_ProcQueue, ...]) -> Tuple[
+        Tuple[_ProcQueue, ...], float
+    ]:
+        """Exactly mirrors FifoQueue.process: the first ``min(C, |Q|)``
+        packets each receive a cycle and leading zeros transmit."""
+        gained = 0.0
+        new_state: List[_ProcQueue] = []
+        for residuals in state:
+            if not residuals:
+                new_state.append(())
+                continue
+            active = min(cores, len(residuals))
+            updated = tuple(r - 1 for r in residuals[:active]) + residuals[
+                active:
+            ]
+            done = 0
+            while done < len(updated) and updated[done] == 0:
+                done += 1
+            gained += done  # unit value in the processing model
+            new_state.append(updated[done:])
+        return tuple(new_state), gained
+
+    def arrivals_of(slot: int) -> Tuple[Tuple[int, float], ...]:
+        return slots[slot]
+
+    def best(slot: int, arr_idx: int, state: Tuple[_ProcQueue, ...]) -> float:
+        if slot == len(slots):
+            return 0.0
+        key = (slot, arr_idx, state)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        arrivals = arrivals_of(slot)
+        if arr_idx == len(arrivals):
+            next_state, gained = transmit(state)
+            result = gained + best(slot + 1, 0, next_state)
+        else:
+            port, _value = arrivals[arr_idx]
+            # Branch 1: drop.
+            result = best(slot, arr_idx + 1, state)
+            # Branch 2: accept, if the buffer has space.
+            occupancy = sum(len(residuals) for residuals in state)
+            if occupancy < buffer_size:
+                new_queue = state[port] + (works[port],)
+                new_state = state[:port] + (new_queue,) + state[port + 1 :]
+                result = max(result, best(slot, arr_idx + 1, new_state))
+        memo[key] = result
+        return result
+
+    empty: Tuple[_ProcQueue, ...] = tuple(() for _ in range(config.n_ports))
+    return best(0, 0, empty)
+
+
+# ---------------------------------------------------------------------------
+# Value model
+# ---------------------------------------------------------------------------
+
+
+def _solve_value(
+    config: SwitchConfig,
+    slots: Tuple[Tuple[Tuple[int, float], ...], ...],
+    by_value: bool,
+) -> float:
+    buffer_size = config.buffer_size
+    cores = config.speedup
+    memo: Dict[Tuple[int, int, Tuple[_ValueQueue, ...]], float] = {}
+
+    def transmit(state: Tuple[_ValueQueue, ...]) -> Tuple[
+        Tuple[_ValueQueue, ...], float
+    ]:
+        gained = 0.0
+        new_state: List[_ValueQueue] = []
+        for values in state:
+            if not values:
+                new_state.append(())
+                continue
+            sent = min(cores, len(values))
+            # Queues transmit their most valuable packets; which packets
+            # transmit matters only through the objective.
+            gained += sum(values[-sent:]) if by_value else sent
+            new_state.append(values[:-sent])
+        return tuple(new_state), gained
+
+    def best(slot: int, arr_idx: int, state: Tuple[_ValueQueue, ...]) -> float:
+        if slot == len(slots):
+            return 0.0
+        key = (slot, arr_idx, state)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        arrivals = slots[slot]
+        if arr_idx == len(arrivals):
+            next_state, gained = transmit(state)
+            result = gained + best(slot + 1, 0, next_state)
+        else:
+            port, value = arrivals[arr_idx]
+            result = best(slot, arr_idx + 1, state)
+            occupancy = sum(len(q) for q in state)
+            if occupancy < buffer_size:
+                queue = state[port]
+                new_queue = tuple(sorted(queue + (value,)))
+                new_state = state[:port] + (new_queue,) + state[port + 1 :]
+                result = max(result, best(slot, arr_idx + 1, new_state))
+        memo[key] = result
+        return result
+
+    empty = tuple(() for _ in range(config.n_ports))
+    return best(0, 0, empty)

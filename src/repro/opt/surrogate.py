@@ -1,0 +1,169 @@
+"""The paper's OPT surrogate: a single priority queue with ``n*C`` cores.
+
+Section V-A: *"Since it is computationally prohibitive to compute the true
+optimal policy, we used a single priority queue that first processes the
+smallest packets (resp., packets with largest value) and has kC cores. This
+algorithm has been proven optimal in the single queue model, so in case of
+congestion it may perform even better than optimal in our model."*
+
+Two variants implement the two models:
+
+* :class:`SrptSurrogate` (processing model) — one shared buffer of ``B``
+  packets kept in ascending residual-work order. Admission is the optimal
+  single-queue push-out rule: accept when there is room, otherwise evict
+  the largest-residual packet if it exceeds the arrival's work. Each slot,
+  the ``n*C`` smallest-residual packets receive one cycle each.
+
+* :class:`MaxValueSurrogate` (value model) — ascending value order;
+  admission evicts the smallest value when the arrival is strictly more
+  valuable; each slot the ``n*C`` most valuable packets transmit (unit
+  work).
+
+Both expose the :class:`System` interface (``run_slot`` / ``flush`` /
+``metrics``) shared with policy-driven switches, so the competitive runner
+treats them interchangeably.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import List, Protocol, Sequence
+
+from repro.core.config import SwitchConfig
+from repro.core.errors import TraceError
+from repro.core.metrics import SwitchMetrics
+from repro.core.packet import Packet
+
+
+class System(Protocol):
+    """Anything that can be driven slot-by-slot over a trace."""
+
+    metrics: SwitchMetrics
+
+    def run_slot(self, arrivals: Sequence[Packet]) -> List[Packet]:
+        """Consume one slot's arrivals, transmit, return transmissions."""
+        ...
+
+    def flush(self) -> int:
+        """Drop all buffered packets without credit; return the count."""
+        ...
+
+    @property
+    def backlog(self) -> int:
+        """Number of currently buffered packets."""
+        ...
+
+
+class _SinglePQSurrogate:
+    """Shared machinery of the two surrogate variants."""
+
+    def __init__(self, config: SwitchConfig, cores: int | None = None) -> None:
+        """``cores`` defaults to the paper's ``n * C``."""
+        self.config = config
+        self.cores = (
+            cores if cores is not None else config.n_ports * config.speedup
+        )
+        if self.cores < 1:
+            raise TraceError(f"surrogate needs >= 1 core, got {self.cores}")
+        self.buffer_size = config.buffer_size
+        self.metrics = SwitchMetrics(n_ports=config.n_ports)
+        self._items: List[Packet] = []  # kept sorted by the variant's key
+
+    @property
+    def backlog(self) -> int:
+        return len(self._items)
+
+    def flush(self) -> int:
+        dropped = len(self._items)
+        self.metrics.record_flush(self._items)
+        self._items.clear()
+        return dropped
+
+    def run_slot(self, arrivals: Sequence[Packet]) -> List[Packet]:
+        for packet in arrivals:
+            self.metrics.record_arrival(packet)
+            self._admit(packet)
+        done = self._transmit()
+        self.metrics.record_transmissions(done)
+        self.metrics.record_slot(len(self._items))
+        return done
+
+    # Variant hooks -----------------------------------------------------
+
+    def _admit(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+    def _transmit(self) -> List[Packet]:
+        raise NotImplementedError
+
+
+class SrptSurrogate(_SinglePQSurrogate):
+    """Processing-model surrogate: smallest-residual-first single queue.
+
+    The buffer list is sorted ascending by residual work. Decrementing a
+    prefix of a sorted list keeps it sorted, so transmission is O(cores)
+    and admission O(B).
+    """
+
+    def _admit(self, packet: Packet) -> None:
+        admitted = packet.fresh_copy()
+        if len(self._items) < self.buffer_size:
+            insort(self._items, admitted, key=lambda p: p.residual)
+            self.metrics.record_accept(admitted)
+            return
+        # Push out the largest-residual packet when the arrival is smaller.
+        if self._items and self._items[-1].residual > admitted.residual:
+            victim = self._items.pop()
+            self.metrics.record_push_out(victim)
+            insort(self._items, admitted, key=lambda p: p.residual)
+            self.metrics.record_accept(admitted)
+        else:
+            self.metrics.record_drop(packet)
+
+    def _transmit(self) -> List[Packet]:
+        active = min(self.cores, len(self._items))
+        for idx in range(active):
+            self._items[idx].residual -= 1
+        done: List[Packet] = []
+        while self._items and self._items[0].residual == 0:
+            done.append(self._items.pop(0))
+        return done
+
+
+class MaxValueSurrogate(_SinglePQSurrogate):
+    """Value-model surrogate: largest-value-first single queue.
+
+    The buffer list is sorted ascending by value; transmission pops from
+    the tail (most valuable first), admission evicts from the head
+    (least valuable) when profitable.
+    """
+
+    def _admit(self, packet: Packet) -> None:
+        admitted = packet.fresh_copy()
+        if len(self._items) < self.buffer_size:
+            insort(self._items, admitted, key=lambda p: p.value)
+            self.metrics.record_accept(admitted)
+            return
+        if self._items and self._items[0].value < admitted.value:
+            victim = self._items.pop(0)
+            self.metrics.record_push_out(victim)
+            insort(self._items, admitted, key=lambda p: p.value)
+            self.metrics.record_accept(admitted)
+        else:
+            self.metrics.record_drop(packet)
+
+    def _transmit(self) -> List[Packet]:
+        active = min(self.cores, len(self._items))
+        done: List[Packet] = []
+        for _ in range(active):
+            packet = self._items.pop()
+            packet.residual = 0
+            done.append(packet)
+        return done
+
+
+def make_surrogate(config: SwitchConfig, by_value: bool) -> _SinglePQSurrogate:
+    """Build the appropriate surrogate for a model/objective."""
+    if by_value:
+        return MaxValueSurrogate(config)
+    return SrptSurrogate(config)

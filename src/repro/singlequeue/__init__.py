@@ -1,0 +1,5 @@
+"""The single-queue architecture (Fig. 1, top) as a comparison substrate."""
+
+from repro.singlequeue.system import SingleQueueSystem
+
+__all__ = ["SingleQueueSystem"]

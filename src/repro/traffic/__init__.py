@@ -1,0 +1,66 @@
+"""Traffic generation: traces, MMPP sources, workloads, adversarial inputs."""
+
+from repro.traffic.adversarial import (
+    ALL_SCENARIOS,
+    AdversarialScenario,
+    thm1_nhst,
+    thm3_nhdt,
+    thm4_lqd,
+    thm5_bpd,
+    thm6_lwd,
+    thm9_lqd_value,
+    thm10_mvd,
+    thm11_mrd,
+)
+from repro.traffic.mmpp import MmppFleet, MmppParams, MmppSource
+from repro.traffic.patterns import (
+    heavy_tailed_workload,
+    mixed_trace,
+    periodic_burst_workload,
+    poisson_workload,
+    thin_trace,
+)
+from repro.traffic.streaming import (
+    stream_processing_workload,
+    stream_value_port_workload,
+)
+from repro.traffic.trace import Trace, burst
+from repro.traffic.workloads import (
+    DEFAULT_SOURCES,
+    processing_capacity,
+    processing_workload,
+    value_capacity,
+    value_port_workload,
+    value_uniform_workload,
+)
+
+__all__ = [
+    "ALL_SCENARIOS",
+    "AdversarialScenario",
+    "DEFAULT_SOURCES",
+    "MmppFleet",
+    "MmppParams",
+    "MmppSource",
+    "Trace",
+    "burst",
+    "heavy_tailed_workload",
+    "mixed_trace",
+    "periodic_burst_workload",
+    "poisson_workload",
+    "processing_capacity",
+    "processing_workload",
+    "stream_processing_workload",
+    "stream_value_port_workload",
+    "thin_trace",
+    "thm10_mvd",
+    "thm11_mrd",
+    "thm1_nhst",
+    "thm3_nhdt",
+    "thm4_lqd",
+    "thm5_bpd",
+    "thm6_lwd",
+    "thm9_lqd_value",
+    "value_capacity",
+    "value_port_workload",
+    "value_uniform_workload",
+]

@@ -1,0 +1,225 @@
+"""Arrival traces: per-slot packet sequences fed to switches.
+
+A :class:`Trace` is the linearization of the paper's arrival model: in each
+time slot a burst of packets arrives, ordered by input port (the model
+serves input ports in a fixed order, and bursts are unrestricted in size).
+Traces are plain data — they can be generated (synthetic MMPP workloads,
+adversarial constructions), saved/loaded as JSON lines, concatenated, and
+replayed against any number of systems.
+
+Packets inside a trace are *templates*: the switch admits fresh copies, so
+a trace may be replayed repeatedly without state leaking between runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Sequence
+
+from repro.core.config import QueueDiscipline, SwitchConfig
+from repro.core.errors import TraceError
+from repro.core.packet import Packet
+
+
+@dataclass
+class Trace:
+    """A sequence of per-slot arrival bursts."""
+
+    slots: List[List[Packet]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def append_slot(self, packets: Sequence[Packet] = ()) -> None:
+        """Append one slot with the given (possibly empty) burst."""
+        self.slots.append(list(packets))
+
+    def add_packet(self, slot: int, packet: Packet) -> None:
+        """Add a packet to ``slot``, growing the trace as needed."""
+        while len(self.slots) <= slot:
+            self.slots.append([])
+        self.slots[slot].append(packet)
+
+    def extend(self, other: "Trace") -> None:
+        """Append another trace's slots after this one's."""
+        for packets in other.slots:
+            self.slots.append(list(packets))
+
+    def repeated(self, times: int) -> "Trace":
+        """A new trace consisting of this one repeated ``times`` times.
+
+        Packet objects are shared between repetitions (they are templates);
+        ``arrival_slot`` metadata refers to the slot within the original
+        trace and is informational only.
+        """
+        if times < 1:
+            raise TraceError(f"repeat count must be >= 1, got {times}")
+        result = Trace()
+        for _ in range(times):
+            result.extend(self)
+        return result
+
+    def padded(self, extra_slots: int) -> "Trace":
+        """A new trace with ``extra_slots`` empty slots appended (drain)."""
+        result = Trace([list(p) for p in self.slots])
+        for _ in range(extra_slots):
+            result.append_slot()
+        return result
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.slots)
+
+    @property
+    def total_packets(self) -> int:
+        return sum(len(burst) for burst in self.slots)
+
+    def __iter__(self) -> Iterator[List[Packet]]:
+        return iter(self.slots)
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def packets(self) -> Iterator[Packet]:
+        """All packets in arrival order."""
+        for burst in self.slots:
+            yield from burst
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate statistics for logging and experiment records."""
+        total = self.total_packets
+        works = [p.work for p in self.packets()]
+        values = [p.value for p in self.packets()]
+        return {
+            "n_slots": self.n_slots,
+            "total_packets": total,
+            "mean_burst": total / self.n_slots if self.n_slots else 0.0,
+            "max_work": max(works) if works else 0,
+            "total_value": sum(values),
+        }
+
+    def per_port_counts(self, n_ports: int) -> List[int]:
+        """Arrival counts per destination port."""
+        counts = [0] * n_ports
+        for packet in self.packets():
+            if packet.port >= n_ports:
+                raise TraceError(
+                    f"packet for port {packet.port} but n_ports={n_ports}"
+                )
+            counts[packet.port] += 1
+        return counts
+
+    def validate_for(self, config: SwitchConfig) -> None:
+        """Raise :class:`TraceError` unless the trace fits the switch.
+
+        Checks port ranges, and the Section III constraint that packets to
+        port ``i`` require exactly ``w_i`` cycles (FIFO discipline only).
+        """
+        for burst in self.slots:
+            for packet in burst:
+                if not 0 <= packet.port < config.n_ports:
+                    raise TraceError(
+                        f"packet port {packet.port} out of range "
+                        f"0..{config.n_ports - 1}"
+                    )
+                if (
+                    config.discipline is QueueDiscipline.FIFO
+                    and packet.work != config.work_of(packet.port)
+                ):
+                    raise TraceError(
+                        f"packet work {packet.work} != w_{packet.port}="
+                        f"{config.work_of(packet.port)}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Serialization (JSON lines, one slot per line)
+    # ------------------------------------------------------------------
+
+    def dump_jsonl(self, path: Path | str) -> None:
+        """Write the trace as JSON lines: one array of packet dicts per slot."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for burst in self.slots:
+                row = [
+                    {
+                        "port": p.port,
+                        "work": p.work,
+                        "value": p.value,
+                        **(
+                            {"opt": p.opt_accept}
+                            if p.opt_accept is not None
+                            else {}
+                        ),
+                    }
+                    for p in burst
+                ]
+                handle.write(json.dumps(row) + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path: Path | str) -> "Trace":
+        """Read a trace written by :meth:`dump_jsonl`."""
+        path = Path(path)
+        trace = cls()
+        with path.open("r", encoding="utf-8") as handle:
+            for slot, line in enumerate(handle):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TraceError(f"bad trace line {slot}: {exc}") from exc
+                burst = [
+                    Packet(
+                        port=item["port"],
+                        work=item.get("work", 1),
+                        value=item.get("value", 1.0),
+                        arrival_slot=slot,
+                        opt_accept=item.get("opt"),
+                    )
+                    for item in row
+                ]
+                trace.append_slot(burst)
+        return trace
+
+
+def burst(
+    slot: int,
+    port: int,
+    count: int,
+    work: int = 1,
+    value: float = 1.0,
+    opt_accept_first: int = 0,
+) -> List[Packet]:
+    """Build ``count`` identical packets, tagging the first
+    ``opt_accept_first`` of them as accepted by the scripted OPT.
+
+    The paper's notation ``h x [w]`` (a burst of ``h`` packets with work
+    ``w``) maps directly onto this helper, which keeps the adversarial
+    constructions readable.
+    """
+    if count < 0 or opt_accept_first < 0:
+        raise TraceError("burst counts must be non-negative")
+    if opt_accept_first > count:
+        raise TraceError(
+            f"cannot tag {opt_accept_first} of {count} packets as accepted"
+        )
+    packets = []
+    for idx in range(count):
+        packets.append(
+            Packet(
+                port=port,
+                work=work,
+                value=value,
+                arrival_slot=slot,
+                opt_accept=idx < opt_accept_first,
+            )
+        )
+    return packets

@@ -1,0 +1,149 @@
+"""Terminal visualization: ASCII charts for sweep and convergence results.
+
+The paper's Fig. 5 is nine line plots; this module renders the same
+series as Unicode line charts in the terminal so experiments are readable
+without a plotting stack (the environment is offline; matplotlib is not a
+dependency). Charts are deliberately simple: one row of braille-free
+block characters per policy won't win awards, but it shows crossovers and
+orderings at a glance — which is all the paper's figures are read for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.errors import ConfigError
+
+#: Glyph ramp from low to high within a chart row.
+_RAMP = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a numeric series as a one-line sparkline."""
+    if not values:
+        return ""
+    finite = [v for v in values if v == v and v not in (float("inf"),)]
+    if not finite:
+        return "·" * len(values)
+    low, high = min(finite), max(finite)
+    span = high - low
+    chars = []
+    for value in values:
+        if value != value or value == float("inf"):
+            chars.append("?")
+            continue
+        if span <= 0:
+            chars.append(_RAMP[len(_RAMP) // 2])
+            continue
+        idx = int((value - low) / span * (len(_RAMP) - 1))
+        chars.append(_RAMP[idx])
+    return "".join(chars)
+
+
+def render_series(
+    series: Dict[str, List[Tuple[float, float]]],
+    *,
+    title: str = "",
+    width: int = 60,
+    height: int = 12,
+    y_label: str = "ratio",
+) -> str:
+    """Render named (x, y) series as a shared-axes ASCII line chart.
+
+    Each series gets a marker letter (its name's initial, disambiguated
+    by position in the legend). Points are plotted on a character grid
+    with linear axes; collisions show the later series' marker.
+    """
+    if not series:
+        raise ConfigError("nothing to plot")
+    xs = sorted({x for points in series.values() for x, _ in points})
+    ys = [y for points in series.values() for _, y in points
+          if y == y and y != float("inf")]
+    if not xs or not ys:
+        raise ConfigError("series contain no plottable points")
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    if x_high == x_low:
+        x_high = x_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> Tuple[int, int]:
+        col = int((x - x_low) / (x_high - x_low) * (width - 1))
+        row = int((y - y_low) / (y_high - y_low) * (height - 1))
+        return height - 1 - row, col
+
+    markers: Dict[str, str] = {}
+    used = set()
+    for name in series:
+        for candidate in name.upper() + "ABCDEFGHIJKLMNOPQRSTUVWXYZ":
+            if candidate.isalnum() and candidate not in used:
+                markers[name] = candidate
+                used.add(candidate)
+                break
+
+    for name, points in series.items():
+        marker = markers[name]
+        for x, y in points:
+            if y != y or y == float("inf"):
+                continue
+            row, col = cell(x, y)
+            grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:.3g}"
+    bottom_label = f"{y_low:.3g}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for idx, row in enumerate(grid):
+        if idx == 0:
+            prefix = top_label.rjust(label_width)
+        elif idx == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif idx == height // 2:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    lines.append(
+        " " * label_width
+        + f"  {x_low:<10.4g}"
+        + " " * max(0, width - 22)
+        + f"{x_high:>10.4g}"
+    )
+    legend = "  ".join(f"{markers[name]}={name}" for name in series)
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def render_sweep(result, **kwargs) -> str:
+    """Render a :class:`~repro.analysis.sweep.SweepResult` as a chart."""
+    series = {
+        policy: [
+            (value, summary.mean)
+            for value, summary in result.series(policy)
+        ]
+        for policy in result.policies()
+    }
+    kwargs.setdefault(
+        "title", f"{result.name}: competitive ratio vs {result.param_name}"
+    )
+    return render_series(series, **kwargs)
+
+
+def render_convergence(profile, **kwargs) -> str:
+    """Render a :class:`~repro.analysis.convergence.ConvergenceProfile`."""
+    series = {
+        profile.policy_name: [
+            (float(p.slots), p.ratio) for p in profile.points
+        ]
+    }
+    kwargs.setdefault(
+        "title", f"{profile.policy_name}: cumulative ratio vs horizon"
+    )
+    return render_series(series, **kwargs)

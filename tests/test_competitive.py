@@ -1,0 +1,139 @@
+"""Tests for the competitive-ratio runner."""
+
+import pytest
+
+from repro.analysis.competitive import (
+    CompetitiveResult,
+    PolicySystem,
+    measure_competitive_ratio,
+    run_system,
+)
+from repro.core.config import SwitchConfig
+from repro.core.errors import ConfigError
+from repro.core.metrics import SwitchMetrics
+from repro.core.packet import Packet
+from repro.policies import make_policy
+from repro.traffic.trace import Trace
+
+
+def simple_trace(n_slots=10, per_slot=3, port=0, work=1):
+    trace = Trace()
+    for slot in range(n_slots):
+        trace.append_slot(
+            [Packet(port=port, work=work, arrival_slot=slot)] * per_slot
+        )
+    return trace
+
+
+@pytest.fixture
+def config():
+    return SwitchConfig.contiguous(2, 4)
+
+
+class TestPolicySystem:
+    def test_run_slot_and_backlog(self, config):
+        system = PolicySystem(config, make_policy("LWD"))
+        system.run_slot([Packet(port=1, work=2)])
+        assert system.backlog == 1
+        system.run_slot([])
+        assert system.backlog == 0
+        assert system.metrics.transmitted_packets == 1
+
+    def test_flush(self, config):
+        system = PolicySystem(config, make_policy("LWD"))
+        system.run_slot([Packet(port=1, work=2)] * 3)
+        assert system.flush() > 0
+        assert system.backlog == 0
+
+
+class TestRunSystem:
+    def test_flushouts_clear_backlog(self, config):
+        system = PolicySystem(config, make_policy("LWD"))
+        metrics = run_system(system, simple_trace(10, 4), flush_every=2)
+        assert system.backlog == 0
+        assert metrics.flushed > 0
+
+    def test_invalid_flush_interval(self, config):
+        system = PolicySystem(config, make_policy("LWD"))
+        with pytest.raises(ConfigError):
+            run_system(system, simple_trace(2), flush_every=0)
+
+    def test_drain_credits_backlog(self, config):
+        with_drain = PolicySystem(config, make_policy("LWD"))
+        run_system(with_drain, simple_trace(5, 4), drain_slots=100)
+        without = PolicySystem(config, make_policy("LWD"))
+        run_system(without, simple_trace(5, 4), drain_slots=0)
+        assert (
+            with_drain.metrics.transmitted_packets
+            > without.metrics.transmitted_packets
+        )
+        assert with_drain.backlog == 0
+
+
+class TestMeasure:
+    def test_ratio_at_least_one_against_surrogate(self, config):
+        result = measure_competitive_ratio(
+            make_policy("LWD"), simple_trace(20, 3), config
+        )
+        assert result.ratio >= 1.0
+
+    def test_by_value_defaults_from_discipline(self):
+        value_config = SwitchConfig.value_contiguous(2, 4)
+        trace = Trace([[Packet(port=1, work=1, value=2.0)]])
+        result = measure_competitive_ratio(
+            make_policy("MRD"), trace, value_config, drain=True
+        )
+        assert result.by_value
+        assert result.opt_name == "OPT-PQ"
+
+    def test_unknown_opt_rejected(self, config):
+        with pytest.raises(ConfigError):
+            measure_competitive_ratio(
+                make_policy("LWD"), simple_trace(2), config, opt="magic"
+            )
+
+    def test_custom_opt_system(self, config):
+        from repro.opt.surrogate import SrptSurrogate
+
+        surrogate = SrptSurrogate(config, cores=10)
+        result = measure_competitive_ratio(
+            make_policy("LWD"), simple_trace(5), config, opt=surrogate
+        )
+        assert result.opt_name == "SrptSurrogate"
+
+    def test_identical_systems_give_ratio_one(self, config):
+        # LWD measured against an LWD-driven "OPT" must tie exactly.
+        reference = PolicySystem(config, make_policy("LWD"))
+        result = measure_competitive_ratio(
+            make_policy("LWD"), simple_trace(15, 3), config, opt=reference
+        )
+        assert result.ratio == pytest.approx(1.0)
+
+    def test_summary_format(self, config):
+        result = measure_competitive_ratio(
+            make_policy("LWD"), simple_trace(5), config
+        )
+        text = result.summary()
+        assert "LWD" in text and "ratio=" in text
+
+
+class TestRatioEdgeCases:
+    def _result(self, alg, opt):
+        return CompetitiveResult(
+            policy_name="X",
+            opt_name="Y",
+            alg_objective=alg,
+            opt_objective=opt,
+            by_value=False,
+            alg_metrics=SwitchMetrics(n_ports=1),
+            opt_metrics=SwitchMetrics(n_ports=1),
+        )
+
+    def test_idle_alg_with_active_opt_is_infinite(self):
+        assert self._result(0.0, 5.0).ratio == float("inf")
+
+    def test_both_idle_is_one(self):
+        assert self._result(0.0, 0.0).ratio == 1.0
+
+    def test_normal_ratio(self):
+        assert self._result(2.0, 5.0).ratio == pytest.approx(2.5)

@@ -1,0 +1,95 @@
+"""Tests for switch configuration and its derived quantities."""
+
+import pytest
+
+from repro._math import harmonic_number
+from repro.core.config import PortSpec, QueueDiscipline, SwitchConfig
+from repro.core.errors import ConfigError
+
+
+class TestPortSpec:
+    def test_defaults(self):
+        spec = PortSpec()
+        assert spec.work == 1
+        assert spec.value == 1.0
+
+    def test_invalid_work(self):
+        with pytest.raises(ConfigError):
+            PortSpec(work=0)
+
+    def test_invalid_value(self):
+        with pytest.raises(ConfigError):
+            PortSpec(value=0.0)
+
+
+class TestValidation:
+    def test_buffer_must_cover_ports(self):
+        with pytest.raises(ConfigError):
+            SwitchConfig(buffer_size=2, ports=(PortSpec(),) * 3)
+
+    def test_needs_ports(self):
+        with pytest.raises(ConfigError):
+            SwitchConfig(buffer_size=4, ports=())
+
+    def test_speedup_positive(self):
+        with pytest.raises(ConfigError):
+            SwitchConfig(buffer_size=4, ports=(PortSpec(),), speedup=0)
+
+    def test_frozen(self):
+        config = SwitchConfig.uniform(2, 8)
+        with pytest.raises(AttributeError):
+            config.buffer_size = 99  # type: ignore[misc]
+
+
+class TestDerived:
+    def test_contiguous_works(self):
+        config = SwitchConfig.contiguous(5, 20)
+        assert config.works == (1, 2, 3, 4, 5)
+        assert config.max_work == 5
+        assert config.n_ports == 5
+
+    def test_contiguous_inverse_work_sum_is_harmonic(self):
+        config = SwitchConfig.contiguous(6, 24)
+        assert config.inverse_work_sum == pytest.approx(harmonic_number(6))
+
+    def test_work_of_and_value_of(self):
+        config = SwitchConfig.value_contiguous(3, 6)
+        assert config.value_of(0) == 1.0
+        assert config.value_of(2) == 3.0
+        assert config.work_of(1) == 1
+
+    def test_uniform(self):
+        config = SwitchConfig.uniform(4, 16, work=3)
+        assert config.works == (3, 3, 3, 3)
+        assert config.discipline is QueueDiscipline.FIFO
+
+    def test_from_works(self):
+        config = SwitchConfig.from_works((1, 2, 3, 6), 24)
+        assert config.works == (1, 2, 3, 6)
+        assert config.max_work == 6
+
+    def test_value_contiguous_uses_priority_discipline(self):
+        config = SwitchConfig.value_contiguous(4, 8)
+        assert config.discipline is QueueDiscipline.PRIORITY
+        assert config.values == (1.0, 2.0, 3.0, 4.0)
+        assert config.max_value == 4.0
+
+    def test_contiguous_requires_positive_k(self):
+        with pytest.raises(ConfigError):
+            SwitchConfig.contiguous(0, 8)
+
+    def test_value_contiguous_requires_positive_k(self):
+        with pytest.raises(ConfigError):
+            SwitchConfig.value_contiguous(0, 8)
+
+
+class TestDescribe:
+    def test_uniform_description(self):
+        assert "w=2" in SwitchConfig.uniform(3, 9, work=2).describe()
+
+    def test_contiguous_description(self):
+        assert "contiguous" in SwitchConfig.contiguous(4, 8).describe()
+
+    def test_arbitrary_description_lists_works(self):
+        description = SwitchConfig.from_works((1, 5), 8).describe()
+        assert "(1, 5)" in description

@@ -1,0 +1,31 @@
+"""Tests for the admission decision type."""
+
+import pytest
+
+from repro.core.decisions import ACCEPT, DROP, Action, Decision, push_out
+
+
+class TestDecision:
+    def test_singletons(self):
+        assert ACCEPT.action is Action.ACCEPT
+        assert DROP.action is Action.DROP
+        assert ACCEPT.victim_port is None
+
+    def test_push_out_carries_victim(self):
+        decision = push_out(3)
+        assert decision.action is Action.PUSH_OUT
+        assert decision.victim_port == 3
+
+    def test_push_out_requires_victim(self):
+        with pytest.raises(ValueError):
+            Decision(Action.PUSH_OUT)
+
+    def test_non_push_out_rejects_victim(self):
+        with pytest.raises(ValueError):
+            Decision(Action.ACCEPT, victim_port=1)
+        with pytest.raises(ValueError):
+            Decision(Action.DROP, victim_port=0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ACCEPT.action = Action.DROP  # type: ignore[misc]

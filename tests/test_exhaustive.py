@@ -1,0 +1,115 @@
+"""Tests for the exhaustive true-OPT oracle on hand-solvable instances."""
+
+import pytest
+
+from repro.core.config import QueueDiscipline, SwitchConfig
+from repro.core.errors import ConfigError
+from repro.opt.exhaustive import TinyInstance, exhaustive_opt
+
+
+def proc_instance(works, buffer_size, arrivals, speedup=1):
+    config = SwitchConfig.from_works(works, buffer_size, speedup=speedup)
+    return TinyInstance(config=config, arrivals=arrivals)
+
+
+def value_instance(n_ports, buffer_size, arrivals, speedup=1):
+    config = SwitchConfig.uniform(
+        n_ports, buffer_size, work=1, speedup=speedup,
+        discipline=QueueDiscipline.PRIORITY,
+    )
+    return TinyInstance(config=config, arrivals=arrivals)
+
+
+class TestProcessingModel:
+    def test_single_packet(self):
+        inst = proc_instance((1,), 1, (((0, 1.0),),))
+        assert exhaustive_opt(inst) == 1.0
+
+    def test_buffer_limits_acceptance(self):
+        # 4 unit-work packets in one slot, B = 2, one port: only 2 fit at
+        # once but one transmits during the slot, then the queue drains.
+        inst = proc_instance((1,), 2, (((0, 1.0),) * 4,))
+        assert exhaustive_opt(inst) == 2.0
+
+    def test_refill_across_slots(self):
+        # B = 2, one port, 2 packets per slot for 3 slots: transmit 1 per
+        # slot, buffer caps the backlog, drain adds the leftovers.
+        inst = proc_instance((1,), 2, (((0, 1.0),) * 2,) * 3)
+        assert exhaustive_opt(inst) == 4.0
+
+    def test_horizon_favors_light_packets(self):
+        # B = 2 shared by a work-3 and a work-1 port, two packets each,
+        # evaluated WITHOUT drain over 2 slots: the work-1 packets can
+        # both transmit inside the horizon, the work-3 ones cannot, so
+        # OPT fills its buffer with light packets.
+        inst = proc_instance(
+            (3, 1), 2, (((0, 1.0), (1, 1.0), (1, 1.0)), ()),
+        )
+        assert exhaustive_opt(inst, drain_slots=0) == 2.0
+
+    def test_parallel_ports_beat_single_port(self):
+        # B = 2, two unit-work ports, one packet each: both transmit in
+        # the same slot.
+        inst = proc_instance((1, 1), 2, (((0, 1.0), (1, 1.0)),))
+        assert exhaustive_opt(inst) == 2.0
+
+    def test_work_delays_transmission(self):
+        # A single work-2 packet needs two slots; with only one slot plus
+        # drain it still completes during the drain phase.
+        inst = proc_instance((2,), 1, (((0, 1.0),),))
+        assert exhaustive_opt(inst, drain_slots=0) == 0.0
+        assert exhaustive_opt(inst) == 1.0
+
+    def test_speedup_doubles_throughput(self):
+        inst = proc_instance((1,), 4, (((0, 1.0),) * 4,), speedup=2)
+        # 2 of 4 transmit in slot 0, the rest during drain.
+        assert exhaustive_opt(inst) == 4.0
+        one_slot = exhaustive_opt(inst, drain_slots=0)
+        assert one_slot == 2.0
+
+    def test_budget_guard(self):
+        inst = proc_instance((1,), 2, (((0, 1.0),) * 30,))
+        with pytest.raises(ConfigError):
+            exhaustive_opt(inst, max_arrivals=10)
+
+
+class TestValueModel:
+    def test_keeps_most_valuable(self):
+        # One buffer slot, values 1 then 5 to the same port: OPT takes 5.
+        inst = value_instance(1, 1, (((0, 1.0), (0, 5.0)),))
+        assert exhaustive_opt(inst) == 5.0
+
+    def test_value_objective_vs_count(self):
+        inst = value_instance(1, 2, (((0, 1.0), (0, 5.0), (0, 3.0)),))
+        assert exhaustive_opt(inst, by_value=True) == 8.0
+        assert exhaustive_opt(inst, by_value=False) == 2.0
+
+    def test_spread_across_ports(self):
+        # Two ports, B = 2: accepting one packet per port transmits both
+        # in the first slot; stacking one port would need a drain slot but
+        # the value objective is identical — count them instead.
+        inst = value_instance(2, 2, (((0, 2.0), (1, 3.0)),))
+        assert exhaustive_opt(inst, by_value=True) == 5.0
+
+    def test_port_capacity_binds_without_drain(self):
+        # 3 packets to one port in one slot with B = 3: only one transmits
+        # per slot; with no drain the rest are stranded.
+        inst = value_instance(1, 3, (((0, 1.0), (0, 1.0), (0, 1.0)),))
+        assert exhaustive_opt(inst, by_value=False, drain_slots=0) == 1.0
+        assert exhaustive_opt(inst, by_value=False) == 3.0
+
+    def test_multi_slot_value_planning(self):
+        # B = 1, port 0: slot 0 offers value 2; slot 1 offers value 9.
+        # Greedy takes both (2 transmits before 9 arrives): total 11.
+        inst = value_instance(1, 1, (((0, 2.0),), ((0, 9.0),)))
+        assert exhaustive_opt(inst, by_value=True) == 11.0
+
+    def test_speedup_transmits_multiple(self):
+        inst = value_instance(1, 4, (((0, 1.0),) * 4,), speedup=4)
+        assert exhaustive_opt(inst, by_value=False, drain_slots=0) == 4.0
+
+
+class TestInstanceHelpers:
+    def test_total_arrivals(self):
+        inst = value_instance(1, 2, (((0, 1.0),), (), ((0, 2.0), (0, 3.0))))
+        assert inst.total_arrivals == 3

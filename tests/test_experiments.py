@@ -1,0 +1,92 @@
+"""Tests for the experiment registry and Fig. 5 panel runner."""
+
+import pytest
+
+from repro.analysis.sweep import SweepResult
+from repro.core.errors import ExperimentError
+from repro.experiments.fig5 import PANELS, run_panel
+from repro.experiments.registry import (
+    THEOREM_EXPERIMENTS,
+    describe_experiment,
+    list_experiments,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_nine_panels_defined(self):
+        assert sorted(PANELS) == list(range(1, 10))
+
+    def test_all_eight_theorems_defined(self):
+        assert sorted(THEOREM_EXPERIMENTS) == [
+            "thm1", "thm10", "thm11", "thm3", "thm4", "thm5", "thm6", "thm9",
+        ]
+
+    def test_list_experiments_covers_all_families(self):
+        ids = list_experiments()
+        assert "fig5-1" in ids and "thm6" in ids and "skew" in ids
+        assert "arch" in ids and "robust" in ids
+        assert len(ids) == 20
+
+    def test_describe(self):
+        assert "processing" in describe_experiment("fig5-1")
+        assert "LWD" in describe_experiment("thm6")
+
+    def test_describe_unknown(self):
+        with pytest.raises(ExperimentError):
+            describe_experiment("fig5-77")
+        with pytest.raises(ExperimentError):
+            describe_experiment("thmX")
+
+    def test_run_unknown(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("nope")
+
+
+class TestPanelRunner:
+    def test_invalid_panel(self):
+        with pytest.raises(ExperimentError):
+            run_panel(12)
+
+    def test_tiny_panel_run(self):
+        result = run_panel(
+            1, n_slots=120, seeds=(0,), policies=("LWD", "BPD"),
+        )
+        assert isinstance(result, SweepResult)
+        assert result.param_name == "k"
+        assert set(result.policies()) == {"LWD", "BPD"}
+        assert all(p.ratio >= 0.99 for p in result.points)
+
+    def test_value_panel_uses_value_objective(self):
+        result = run_panel(
+            7, n_slots=120, seeds=(0,), policies=("MRD",),
+        )
+        assert all(p.opt_objective > 0 for p in result.points)
+
+    def test_uniform_panel_scales_ports_with_k(self):
+        # Panel 4's config factory must build k output ports for sweep
+        # value k (the paper's "growing k reduces congestion" reading).
+        from repro.experiments.fig5 import _panel_factories
+
+        spec = PANELS[4]
+        config_factory, _ = _panel_factories(spec, n_slots=10, load=3.0)
+        assert config_factory(32).n_ports == 32
+
+    def test_speedup_sweep_keeps_offered_rate_fixed(self):
+        from repro.experiments.fig5 import _panel_factories
+
+        spec = PANELS[3]
+        config_factory, trace_factory = _panel_factories(
+            spec, n_slots=4000, load=3.0
+        )
+        light = trace_factory(config_factory(1), 1, 0)
+        heavy = trace_factory(config_factory(8), 8, 0)
+        # Same seed, same anchored rate: identical arrival volume.
+        assert light.total_packets == heavy.total_packets
+
+    def test_run_experiment_dispatch(self):
+        result = run_experiment("fig5-2", n_slots=80, seeds=[0])
+        assert isinstance(result, SweepResult)
+        scenario, outcome = run_experiment("thm10")
+        assert scenario.theorem == "Theorem 10"
+        assert outcome.ratio > 1.0

@@ -1,0 +1,108 @@
+"""Empirical validation of Theorem 7: LWD is at most 2-competitive.
+
+The strongest check uses the *exhaustive* true offline optimum on small
+randomized instances — something the paper itself could not run. The ratio
+``OPT / LWD`` must never exceed 2 (we allow a hair of slack for the
+end-of-horizon accounting: the theorem's guarantee is over completed
+transmissions of an infinite run, while a finite horizon can strand a
+packet mid-processing).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.competitive import PolicySystem, run_system
+from repro.core.config import SwitchConfig
+from repro.core.packet import Packet
+from repro.opt.exhaustive import TinyInstance, exhaustive_opt
+from repro.policies import make_policy
+
+
+def random_instance(rng, n_ports=3, buffer_size=4, n_slots=4, max_arrivals=10):
+    """A random tiny processing-model instance."""
+    works = tuple(int(w) for w in rng.integers(1, 4, size=n_ports))
+    config = SwitchConfig.from_works(works, buffer_size)
+    arrivals = []
+    budget = max_arrivals
+    for _ in range(n_slots):
+        burst_size = int(rng.integers(0, 4))
+        burst_size = min(burst_size, budget)
+        budget -= burst_size
+        arrivals.append(
+            tuple(
+                (int(p), 1.0)
+                for p in rng.integers(0, n_ports, size=burst_size)
+            )
+        )
+    return config, tuple(arrivals)
+
+
+def lwd_objective(config, arrivals, drain_slots):
+    system = PolicySystem(config, make_policy("LWD"))
+    for burst in arrivals:
+        packets = [
+            Packet(port=port, work=config.work_of(port))
+            for port, _value in burst
+        ]
+        system.run_slot(packets)
+    for _ in range(drain_slots):
+        if system.backlog == 0:
+            break
+        system.run_slot(())
+    return system.metrics.transmitted_packets
+
+
+class TestAgainstExhaustiveOpt:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_lwd_within_factor_two_of_true_opt(self, seed):
+        rng = np.random.default_rng(seed)
+        config, arrivals = random_instance(rng)
+        instance = TinyInstance(config=config, arrivals=arrivals)
+        drain = config.buffer_size * config.max_work + 1
+        opt = exhaustive_opt(instance, drain_slots=drain)
+        alg = lwd_objective(config, arrivals, drain_slots=drain)
+        if alg == 0:
+            assert opt == 0
+        else:
+            # +1 absorbs the single packet a finite horizon can strand.
+            assert opt <= 2 * alg + 1
+
+    def test_lwd_optimal_on_underloaded_instance(self):
+        # With ample buffer and gentle arrivals LWD accepts everything and
+        # matches OPT exactly.
+        config = SwitchConfig.from_works((1, 2), 8)
+        arrivals = (((0, 1.0), (1, 1.0)), ((0, 1.0),))
+        instance = TinyInstance(config=config, arrivals=arrivals)
+        opt = exhaustive_opt(instance)
+        alg = lwd_objective(config, arrivals, drain_slots=20)
+        assert alg == opt == 3
+
+
+class TestAgainstScriptedAdversary:
+    def test_worst_known_construction_respects_bound(self):
+        from repro.analysis.competitive import run_scenario
+        from repro.traffic.adversarial import thm6_lwd
+
+        for b in (48, 120, 240):
+            outcome = run_scenario(thm6_lwd(buffer_size=b, rounds=2))
+            assert outcome.ratio <= 2.0
+
+    def test_uniform_work_inherits_lqd_regime(self):
+        # Under uniform works LWD == LQD; stress it with single-queue
+        # floods against the SRPT surrogate (which degenerates to the same
+        # service order) and confirm the factor-2 envelope.
+        from repro.analysis.competitive import measure_competitive_ratio
+        from repro.traffic.trace import Trace
+
+        config = SwitchConfig.uniform(4, 16, work=2)
+        rng = np.random.default_rng(0)
+        trace = Trace()
+        for slot in range(200):
+            port = int(rng.integers(0, 4))
+            trace.append_slot(
+                [Packet(port=port, work=2) for _ in range(int(rng.integers(0, 6)))]
+            )
+        result = measure_competitive_ratio(
+            make_policy("LWD"), trace, config, by_value=False, drain=True
+        )
+        assert result.ratio <= 2.0

@@ -1,0 +1,48 @@
+"""Tests for the shared math helpers."""
+
+import math
+
+import pytest
+
+from repro._math import EULER_GAMMA, harmonic_number, harmonic_range
+
+
+class TestHarmonicNumber:
+    def test_base_cases(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == 1.0
+
+    def test_small_values(self):
+        assert harmonic_number(2) == pytest.approx(1.5)
+        assert harmonic_number(3) == pytest.approx(1 + 0.5 + 1 / 3)
+        assert harmonic_number(4) == pytest.approx(25 / 12)
+
+    def test_monotone(self):
+        values = [harmonic_number(m) for m in range(1, 50)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_asymptotics_ln_plus_gamma(self):
+        # H_m ~ ln m + gamma + 1/(2m); check the approximation quality.
+        for m in (100, 1000):
+            approx = math.log(m) + EULER_GAMMA + 1 / (2 * m)
+            assert harmonic_number(m) == pytest.approx(approx, abs=1e-4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_number(-1)
+
+
+class TestHarmonicRange:
+    def test_empty_range_is_zero(self):
+        assert harmonic_range(5, 4) == 0.0
+
+    def test_single_term(self):
+        assert harmonic_range(3, 3) == pytest.approx(1 / 3)
+
+    def test_equals_difference_of_harmonics(self):
+        assert harmonic_range(4, 10) == pytest.approx(
+            harmonic_number(10) - harmonic_number(3)
+        )
+
+    def test_full_prefix_matches_harmonic_number(self):
+        assert harmonic_range(1, 7) == pytest.approx(harmonic_number(7))

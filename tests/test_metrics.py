@@ -1,0 +1,82 @@
+"""Tests for the metrics counters."""
+
+import pytest
+
+from repro.core.metrics import SwitchMetrics
+from repro.core.packet import Packet
+
+
+def pkt(port=0, work=1, value=1.0):
+    return Packet(port=port, work=work, value=value)
+
+
+class TestCounters:
+    def test_initial_state(self):
+        metrics = SwitchMetrics(n_ports=3)
+        assert metrics.arrived == 0
+        assert metrics.transmitted_by_port == [0, 0, 0]
+        assert metrics.mean_occupancy == 0.0
+        assert metrics.loss_rate == 0.0
+
+    def test_arrival_and_drop_accounting(self):
+        metrics = SwitchMetrics(n_ports=2)
+        p = pkt(1)
+        metrics.record_arrival(p)
+        metrics.record_drop(p)
+        assert metrics.arrived == 1
+        assert metrics.dropped == 1
+        assert metrics.dropped_by_port == [0, 1]
+        assert metrics.loss_rate == 1.0
+
+    def test_push_out_counts_as_loss_for_victim_port(self):
+        metrics = SwitchMetrics(n_ports=2)
+        metrics.record_arrival(pkt(0))
+        metrics.record_push_out(pkt(1))
+        assert metrics.pushed_out == 1
+        assert metrics.dropped_by_port == [0, 1]
+        assert metrics.loss_rate == 1.0
+
+    def test_transmissions_aggregate_value_and_port(self):
+        metrics = SwitchMetrics(n_ports=2)
+        metrics.record_transmissions([pkt(0, value=2.0), pkt(1, value=3.0)])
+        assert metrics.transmitted_packets == 2
+        assert metrics.transmitted_value == 5.0
+        assert metrics.transmitted_by_port == [1, 1]
+        assert metrics.transmitted_value_by_port == [2.0, 3.0]
+
+    def test_flush_counts(self):
+        metrics = SwitchMetrics(n_ports=1)
+        metrics.record_flush([pkt(), pkt(), pkt()])
+        assert metrics.flushed == 3
+
+
+class TestDerived:
+    def test_occupancy_statistics(self):
+        metrics = SwitchMetrics(n_ports=1)
+        for occupancy in (2, 4, 6):
+            metrics.record_slot(occupancy)
+        assert metrics.slots_elapsed == 3
+        assert metrics.mean_occupancy == pytest.approx(4.0)
+        assert metrics.occupancy_peak == 6
+
+    def test_objective_selector(self):
+        metrics = SwitchMetrics(n_ports=1)
+        metrics.record_transmissions([pkt(value=5.0), pkt(value=2.0)])
+        assert metrics.objective(by_value=False) == 2.0
+        assert metrics.objective(by_value=True) == 7.0
+
+    def test_as_dict_keys(self):
+        metrics = SwitchMetrics(n_ports=1)
+        snapshot = metrics.as_dict()
+        assert {
+            "arrived", "accepted", "dropped", "pushed_out", "flushed",
+            "transmitted_packets", "transmitted_value", "slots_elapsed",
+            "mean_occupancy", "occupancy_peak", "loss_rate",
+        } == set(snapshot)
+
+    def test_loss_rate_partial(self):
+        metrics = SwitchMetrics(n_ports=1)
+        for _ in range(4):
+            metrics.record_arrival(pkt())
+        metrics.record_drop(pkt())
+        assert metrics.loss_rate == pytest.approx(0.25)

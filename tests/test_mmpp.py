@@ -1,0 +1,109 @@
+"""Tests for the MMPP on-off traffic sources."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.traffic.mmpp import MmppFleet, MmppParams, MmppSource
+
+
+class TestParams:
+    def test_transition_probabilities(self):
+        params = MmppParams(rate_on=1.0, mean_on_slots=10, mean_off_slots=40)
+        assert params.p_off == pytest.approx(0.1)
+        assert params.p_on == pytest.approx(0.025)
+
+    def test_stationary_fraction(self):
+        params = MmppParams(rate_on=1.0, mean_on_slots=10, mean_off_slots=30)
+        assert params.stationary_on == pytest.approx(0.25)
+        assert params.mean_rate == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MmppParams(rate_on=-1.0)
+        with pytest.raises(ConfigError):
+            MmppParams(rate_on=1.0, mean_on_slots=0.5)
+        with pytest.raises(ConfigError):
+            MmppParams(rate_on=1.0, start_on_probability=1.5)
+
+    def test_initial_on_probability_default(self):
+        params = MmppParams(rate_on=1.0, mean_on_slots=10, mean_off_slots=30)
+        assert params.initial_on_probability() == pytest.approx(0.25)
+
+    def test_initial_on_probability_override(self):
+        params = MmppParams(rate_on=1.0, start_on_probability=1.0)
+        assert params.initial_on_probability() == 1.0
+
+
+class TestScalarSource:
+    def test_emits_only_when_on(self):
+        params = MmppParams(
+            rate_on=5.0, mean_on_slots=1000, mean_off_slots=1000,
+            start_on_probability=0.0,
+        )
+        source = MmppSource(params, np.random.default_rng(0))
+        assert not source.on
+        assert source.step() == 0
+
+    def test_long_run_rate_matches_params(self):
+        params = MmppParams(rate_on=2.0, mean_on_slots=10, mean_off_slots=30)
+        source = MmppSource(params, np.random.default_rng(42))
+        total = sum(source.step() for _ in range(40_000))
+        assert total / 40_000 == pytest.approx(params.mean_rate, rel=0.1)
+
+    def test_deterministic_under_seed(self):
+        params = MmppParams(rate_on=1.5, mean_on_slots=5, mean_off_slots=15)
+        runs = []
+        for _ in range(2):
+            source = MmppSource(params, np.random.default_rng(7))
+            runs.append([source.step() for _ in range(200)])
+        assert runs[0] == runs[1]
+
+
+class TestFleet:
+    def test_counts_shape(self):
+        params = MmppParams(rate_on=1.0)
+        fleet = MmppFleet(8, params, np.random.default_rng(0))
+        counts = fleet.step()
+        assert counts.shape == (8,)
+        assert counts.dtype == np.int64
+
+    def test_needs_sources(self):
+        with pytest.raises(ConfigError):
+            MmppFleet(0, MmppParams(rate_on=1.0), np.random.default_rng(0))
+
+    def test_aggregate_rate_matches_params(self):
+        params = MmppParams(rate_on=2.0, mean_on_slots=10, mean_off_slots=30)
+        fleet = MmppFleet(100, params, np.random.default_rng(3))
+        total = sum(int(fleet.step().sum()) for _ in range(5000))
+        expected = 100 * params.mean_rate * 5000
+        assert total == pytest.approx(expected, rel=0.1)
+
+    def test_fraction_on_tracks_stationary(self):
+        params = MmppParams(rate_on=1.0, mean_on_slots=10, mean_off_slots=30)
+        fleet = MmppFleet(2000, params, np.random.default_rng(5))
+        for _ in range(200):
+            fleet.step()
+        assert fleet.fraction_on == pytest.approx(0.25, abs=0.05)
+
+    def test_deterministic_under_seed(self):
+        params = MmppParams(rate_on=1.0, mean_on_slots=5, mean_off_slots=20)
+        runs = []
+        for _ in range(2):
+            fleet = MmppFleet(16, params, np.random.default_rng(11))
+            runs.append(np.stack([fleet.step() for _ in range(100)]))
+        assert np.array_equal(runs[0], runs[1])
+
+    def test_off_sources_emit_nothing(self):
+        params = MmppParams(
+            rate_on=10.0, mean_on_slots=1000, mean_off_slots=1000,
+            start_on_probability=0.0,
+        )
+        fleet = MmppFleet(50, params, np.random.default_rng(0))
+        # Give transitions a couple of slots; sources that stay off must
+        # contribute zero.
+        counts = fleet.step()
+        off_idx = np.nonzero(~fleet.on)[0]
+        assert counts[: len(off_idx)].sum() >= 0  # sanity
+        first_slot_emitters = np.nonzero(counts)[0]
+        assert len(first_slot_emitters) == 0

@@ -1,0 +1,87 @@
+"""Tests for policy templates and the registry."""
+
+import pytest
+
+from repro.core.config import SwitchConfig
+from repro.core.errors import ConfigError
+from repro.core.switch import SharedMemorySwitch
+from repro.policies import available_policies, make_policy, policy_entry
+from repro.policies.base import register_policy
+from repro.policies.processing import LWD
+from repro.policies.nonpushout import NEST
+
+
+class TestRegistry:
+    def test_all_paper_policies_registered(self):
+        names = {e.name for e in available_policies()}
+        assert {
+            "NHST", "NEST", "NHDT", "LQD", "BPD", "BPD1", "LWD",
+            "Greedy", "NHST-V", "LQD-V", "MVD", "MVD1", "MRD",
+        } <= names
+
+    def test_lookup_case_insensitive(self):
+        assert isinstance(make_policy("lwd"), LWD)
+        assert isinstance(make_policy("LwD"), LWD)
+
+    def test_unknown_policy_lists_known(self):
+        with pytest.raises(ConfigError, match="LWD"):
+            make_policy("nope")
+
+    def test_model_filter(self):
+        processing = {e.name for e in available_policies("processing")}
+        value = {e.name for e in available_policies("value")}
+        assert "LWD" in processing and "LWD" not in value
+        assert "MRD" in value and "MRD" not in processing
+        assert "NEST" in processing and "NEST" in value
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError):
+            register_policy("LWD", LWD, {"processing"}, "dup")
+
+    def test_bad_model_tag_rejected(self):
+        with pytest.raises(ConfigError):
+            register_policy("X-new", LWD, {"bogus"}, "bad tag")
+
+    def test_policy_entry_exposes_summary(self):
+        entry = policy_entry("LWD")
+        assert "2-competitive" in entry.summary
+
+    def test_policy_entry_unknown(self):
+        with pytest.raises(ConfigError):
+            policy_entry("missing")
+
+
+class TestTemplates:
+    def test_push_out_flag(self):
+        assert make_policy("LWD").is_push_out
+        assert not make_policy("NEST").is_push_out
+
+    def test_describe_mentions_kind(self):
+        assert "push-out" in make_policy("LQD").describe()
+        assert "non-push-out" in make_policy("NEST").describe()
+
+    def test_threshold_policy_drops_when_full(self):
+        # Even a policy whose threshold admits everything must drop once
+        # the shared buffer is full.
+        config = SwitchConfig.uniform(2, 2)
+        switch = SharedMemorySwitch(config)
+        policy = NEST()
+        for _ in range(4):
+            switch.offer(
+                __import__("conftest").pkt(0, 1), policy
+            )
+        assert switch.occupancy <= 2
+
+    def test_policies_are_stateless_across_runs(self):
+        # The same instance must produce identical outcomes on two switches.
+        from conftest import pkt
+
+        config = SwitchConfig.contiguous(3, 6)
+        policy = make_policy("LWD")
+        outcomes = []
+        for _ in range(2):
+            switch = SharedMemorySwitch(config)
+            for i in range(12):
+                switch.offer(pkt(i % 3, (i % 3) + 1), policy)
+            outcomes.append([len(q) for q in switch.queues])
+        assert outcomes[0] == outcomes[1]

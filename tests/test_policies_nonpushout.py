@@ -1,0 +1,148 @@
+"""Tests for the non-push-out threshold policies (NHST, NEST, NHDT, ...)."""
+
+import pytest
+
+from repro._math import harmonic_number
+from repro.core.config import SwitchConfig
+from repro.core.switch import SharedMemorySwitch
+from repro.policies.nonpushout import (
+    NEST,
+    NHDT,
+    NHST,
+    GreedyNonPushOut,
+    NHSTValue,
+)
+
+from conftest import AcceptAll, pkt
+
+
+def drive(switch, policy, packets):
+    """Offer packets through the policy; return per-queue lengths."""
+    switch.arrival_phase(packets, policy)
+    return [len(q) for q in switch.queues]
+
+
+class TestNHST:
+    def test_threshold_formula(self):
+        # Contiguous k=4, B=12: Z = H_4 = 25/12, threshold for port i is
+        # B / (w_i * Z) = 12 / (w * 25/12) = 144 / (25 w).
+        config = SwitchConfig.contiguous(4, 12)
+        switch = SharedMemorySwitch(config)
+        lens = drive(switch, NHST(), [pkt(0, 1)] * 12)
+        # 144/25 = 5.76 -> queue 0 holds at most 6 packets (len < 5.76).
+        assert lens[0] == 6
+
+    def test_heavier_port_gets_smaller_share(self):
+        config = SwitchConfig.contiguous(4, 12)
+        switch = SharedMemorySwitch(config)
+        lens = drive(
+            switch, NHST(), [pkt(3, 4)] * 12 + [pkt(0, 1)] * 12
+        )
+        assert lens[3] < lens[0]
+
+    def test_never_pushes_out(self):
+        config = SwitchConfig.contiguous(4, 12)
+        switch = SharedMemorySwitch(config)
+        drive(switch, NHST(), [pkt(0, 1)] * 30)
+        assert switch.metrics.pushed_out == 0
+
+    def test_respects_full_buffer(self):
+        # Works (2, 3): thresholds sum above B once ceilings apply; the
+        # policy must still never overflow the shared buffer.
+        config = SwitchConfig.from_works((2, 3), 4)
+        switch = SharedMemorySwitch(config)
+        drive(switch, NHST(), [pkt(0, 2)] * 4 + [pkt(1, 3)] * 4)
+        assert switch.occupancy <= 4
+
+
+class TestNEST:
+    def test_equal_partition(self):
+        config = SwitchConfig.contiguous(4, 12)
+        switch = SharedMemorySwitch(config)
+        lens = drive(switch, NEST(), [pkt(0, 1)] * 10)
+        assert lens[0] == 3  # B/n = 3
+
+    def test_partition_isolates_queues(self):
+        config = SwitchConfig.contiguous(4, 12)
+        switch = SharedMemorySwitch(config)
+        packets = [pkt(i, i + 1) for i in range(4) for _ in range(5)]
+        lens = drive(switch, NEST(), packets)
+        assert lens == [3, 3, 3, 3]
+
+    def test_never_exceeds_buffer(self):
+        config = SwitchConfig.uniform(3, 7)
+        switch = SharedMemorySwitch(config)
+        drive(switch, NEST(), [pkt(i % 3, 1) for i in range(40)])
+        assert switch.occupancy <= 7
+
+
+class TestNHDT:
+    def test_single_queue_limited_to_harmonic_share(self):
+        # n=4 ports: one queue alone may hold < B/H_4 packets.
+        config = SwitchConfig.contiguous(4, 12)
+        switch = SharedMemorySwitch(config)
+        lens = drive(switch, NHDT(), [pkt(0, 1)] * 12)
+        bound = 12 / harmonic_number(4)  # = 5.76
+        assert lens[0] <= bound + 1
+        assert lens[0] >= bound - 1
+
+    def test_joint_constraint_over_fullest_queues(self):
+        config = SwitchConfig.contiguous(4, 12)
+        switch = SharedMemorySwitch(config)
+        packets = [pkt(i, i + 1) for i in range(4) for _ in range(12)]
+        drive(switch, NHDT(), packets)
+        # All four queues together may hold at most B packets, and the
+        # harmonic budget binds before that.
+        assert switch.occupancy <= 12
+
+    def test_spreads_better_than_single_queue_hog(self):
+        config = SwitchConfig.contiguous(4, 12)
+        hog = SharedMemorySwitch(config)
+        drive(hog, NHDT(), [pkt(0, 1)] * 20)
+        spread = SharedMemorySwitch(config)
+        drive(
+            spread,
+            NHDT(),
+            [pkt(i, i + 1) for i in range(4) for _ in range(5)],
+        )
+        assert spread.occupancy >= hog.occupancy
+
+
+class TestNHSTValue:
+    def test_most_valuable_port_gets_largest_share(self):
+        config = SwitchConfig.value_contiguous(4, 12)
+        switch = SharedMemorySwitch(config)
+        policy = NHSTValue()
+        packets = [pkt(3, 1, value=4.0)] * 12 + [pkt(0, 1, value=1.0)] * 12
+        switch.arrival_phase(packets, policy)
+        lens = [len(q) for q in switch.queues]
+        assert lens[3] > lens[0]
+
+    def test_threshold_matches_reversed_formula(self):
+        # Port with rank r (by value) gets B / ((k - r + 1) H_k); the top
+        # port (r = k) gets B / H_k.
+        config = SwitchConfig.value_contiguous(4, 12)
+        switch = SharedMemorySwitch(config)
+        switch.arrival_phase([pkt(3, 1, value=4.0)] * 12, NHSTValue())
+        bound = 12 / harmonic_number(4)
+        assert len(switch.queues[3]) == pytest.approx(bound, abs=1)
+
+
+class TestGreedy:
+    def test_accepts_until_full(self):
+        config = SwitchConfig.value_contiguous(2, 4)
+        switch = SharedMemorySwitch(config)
+        switch.arrival_phase(
+            [pkt(0, 1, value=1.0)] * 6, GreedyNonPushOut()
+        )
+        assert switch.occupancy == 4
+        assert switch.metrics.dropped == 2
+
+    def test_matches_accept_all_reference(self):
+        config = SwitchConfig.value_contiguous(2, 4)
+        greedy_switch = SharedMemorySwitch(config)
+        ref_switch = SharedMemorySwitch(config)
+        packets = [pkt(i % 2, 1, value=float(i % 3 + 1)) for i in range(10)]
+        greedy_switch.arrival_phase(packets, GreedyNonPushOut())
+        ref_switch.arrival_phase(packets, AcceptAll())
+        assert greedy_switch.occupancy == ref_switch.occupancy

@@ -1,0 +1,164 @@
+"""Tests for the value-model push-out policies (LQD-V, MVD, MVD1, MRD)."""
+
+import pytest
+
+from repro.core.config import SwitchConfig
+from repro.core.packet import Packet
+from repro.core.switch import SharedMemorySwitch
+from repro.policies.value import MRD, MVD, MVD1, LQDValue
+
+from conftest import AcceptAll
+
+
+def vpkt(port: int, value: float) -> Packet:
+    return Packet(port=port, work=1, value=value)
+
+
+def loaded_switch(config, layout):
+    """Build a switch with queues holding the given value lists."""
+    switch = SharedMemorySwitch(config)
+    policy = AcceptAll()
+    for port, values in layout.items():
+        for value in values:
+            switch.offer(vpkt(port, value), policy)
+    return switch
+
+
+@pytest.fixture
+def config():
+    return SwitchConfig.value_contiguous(3, 6)
+
+
+class TestLQDValue:
+    def test_pushes_cheapest_of_longest(self, config):
+        switch = loaded_switch(config, {0: [5.0, 1.0, 3.0, 2.0], 1: [4.0, 6.0]})
+        switch.offer(vpkt(2, 9.0), LQDValue())
+        # Queue 0 is longest; its cheapest packet (1.0) is evicted.
+        assert [p.value for p in switch.queues[0]] == [5.0, 3.0, 2.0]
+        assert len(switch.queues[2]) == 1
+
+    def test_drops_into_own_longest_queue(self, config):
+        switch = loaded_switch(config, {0: [1.0] * 4, 1: [2.0] * 2})
+        switch.offer(vpkt(0, 9.0), LQDValue())
+        assert switch.metrics.dropped == 1
+
+    def test_value_oblivious_selection(self, config):
+        # Even when the longest queue holds only high values and a short
+        # queue holds junk, LQD still targets the longest queue.
+        switch = loaded_switch(config, {0: [9.0, 8.0, 7.0, 9.5], 1: [0.1, 0.2]})
+        switch.offer(vpkt(2, 5.0), LQDValue())
+        assert len(switch.queues[0]) == 3
+        assert min(p.value for p in switch.queues[0]) == 8.0
+
+
+class TestMVD:
+    def test_pushes_global_minimum(self, config):
+        switch = loaded_switch(config, {0: [5.0, 3.0], 1: [2.0, 4.0], 2: [6.0, 7.0]})
+        switch.offer(vpkt(0, 9.0), MVD())
+        # Global min 2.0 lives in queue 1; it goes.
+        assert [p.value for p in switch.queues[1]] == [4.0]
+        assert len(switch.queues[0]) == 3
+
+    def test_drops_when_not_more_valuable(self, config):
+        switch = loaded_switch(config, {0: [3.0] * 6})
+        switch.offer(vpkt(1, 3.0), MVD())
+        assert switch.metrics.dropped == 1
+        switch.offer(vpkt(1, 2.0), MVD())
+        assert switch.metrics.dropped == 2
+
+    def test_tie_prefers_longest_queue(self, config):
+        switch = loaded_switch(config, {0: [1.0, 5.0, 6.0], 1: [1.0, 9.0], 2: [8.0]})
+        switch.offer(vpkt(2, 4.0), MVD())
+        # Both queues 0 and 1 hold value 1.0; the longer queue 0 loses it.
+        assert len(switch.queues[0]) == 2
+        assert len(switch.queues[1]) == 2
+
+    def test_theorem10_cascade(self):
+        """One ascending arrival sweep ends with MVD holding only the top
+        value — the engine of the Theorem 10 lower bound."""
+        config = SwitchConfig.value_contiguous(4, 8)
+        switch = SharedMemorySwitch(config)
+        policy = MVD()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            for _ in range(8):
+                switch.offer(vpkt(int(value) - 1, value), policy)
+        assert len(switch.queues[3]) == 8
+        assert all(len(switch.queues[i]) == 0 for i in range(3))
+
+
+class TestMVD1:
+    def test_spares_last_packet(self, config):
+        switch = loaded_switch(config, {0: [1.0], 1: [2.0, 3.0, 4.0, 5.0, 6.0]})
+        switch.offer(vpkt(2, 9.0), MVD1())
+        # Queue 0's only packet (the global min) is protected; queue 1's
+        # minimum (2.0) goes instead.
+        assert len(switch.queues[0]) == 1
+        assert [p.value for p in switch.queues[1]] == [6.0, 5.0, 4.0, 3.0]
+
+    def test_drops_when_only_singletons(self):
+        config = SwitchConfig.value_contiguous(3, 3)
+        switch = loaded_switch(config, {0: [1.0], 1: [2.0], 2: [3.0]})
+        switch.offer(vpkt(0, 9.0), MVD1())
+        assert switch.metrics.dropped == 1
+
+
+class TestMRD:
+    def test_pushes_max_ratio_queue(self, config):
+        # Queue 0: 4 packets of value 1 -> ratio 4; queue 1: 2 packets of
+        # value 4 -> ratio 0.5.
+        switch = loaded_switch(config, {0: [1.0] * 4, 1: [4.0] * 2})
+        switch.offer(vpkt(2, 3.0), MRD())
+        assert len(switch.queues[0]) == 3
+        assert len(switch.queues[2]) == 1
+
+    def test_drops_when_arrival_not_above_min(self, config):
+        switch = loaded_switch(config, {0: [2.0] * 6})
+        switch.offer(vpkt(1, 2.0), MRD())
+        assert switch.metrics.dropped == 1
+
+    def test_victim_is_tail_of_ratio_queue_not_global_min(self, config):
+        # Global min (0.5) sits in queue 1, but queue 0 has the max ratio;
+        # the paper's rule evicts queue 0's tail even though it is more
+        # valuable than the global minimum.
+        switch = loaded_switch(config, {0: [1.0] * 5, 1: [0.5]})
+        switch.offer(vpkt(2, 0.8), MRD())
+        assert len(switch.queues[0]) == 4
+        assert len(switch.queues[1]) == 1
+
+    def test_ratio_balancing_converges_to_theorem11_shape(self):
+        """After B arrivals of each value 1, 2, 3, 6 (ascending), MRD's
+        queue sizes converge to B/12 : B/6 : B/4 : B/2 (Theorem 11)."""
+        b = 48
+        config = SwitchConfig.value_ports((1.0, 2.0, 3.0, 6.0), b)
+        switch = SharedMemorySwitch(config)
+        policy = MRD()
+        for port, value in ((0, 1.0), (1, 2.0), (2, 3.0), (3, 6.0)):
+            for _ in range(b):
+                switch.offer(vpkt(port, value), policy)
+        lens = [len(q) for q in switch.queues]
+        # Discrete tie-breaking at the exact balance point may shift one
+        # packet between the extreme queues; the proof's idealized shape
+        # is B/12 : B/6 : B/4 : B/2.
+        expected = [b // 12, b // 6, b // 4, b // 2]
+        assert sum(lens) == b
+        assert all(abs(l - e) <= 1 for l, e in zip(lens, expected))
+
+    def test_reduces_to_lqd_under_unit_values(self):
+        config = SwitchConfig.uniform(
+            3, 6, work=1,
+            discipline=SwitchConfig.value_contiguous(3, 6).discipline,
+        )
+        arrivals = [vpkt(i % 3, 1.0) for i in range(15)]
+        mrd_switch = SharedMemorySwitch(config)
+        lqd_switch = SharedMemorySwitch(config)
+        mrd, lqd = MRD(), LQDValue()
+        for p in arrivals:
+            mrd_switch.offer(p, mrd)
+            lqd_switch.offer(p, lqd)
+        # Unit values: MRD's ratio is the queue length, so the *lengths*
+        # evolve like LQD's even though push-out admission tests differ
+        # (MRD drops when min value == arrival value; with unit values it
+        # never pushes out, and neither does LQD gain by swapping).
+        assert [len(q) for q in mrd_switch.queues] == [
+            len(q) for q in lqd_switch.queues
+        ]

@@ -1,0 +1,205 @@
+"""Specification properties: each policy's victim matches its defining rule.
+
+The unit tests pin hand-crafted cases; these hypothesis tests assert the
+*defining invariant* of every push-out policy on arbitrary reachable
+buffer states: whenever the policy pushes out, the victim queue is one
+that its rule permits. A violation would mean the implementation and the
+paper's definition (docs/POLICIES.md pseudocode) have drifted apart.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.config import QueueDiscipline, SwitchConfig
+from repro.core.decisions import Action
+from repro.core.packet import Packet
+from repro.core.switch import SharedMemorySwitch
+from repro.policies import make_policy
+
+
+@st.composite
+def processing_state(draw):
+    """A config plus an arrival sequence that drives it to varied states."""
+    n_ports = draw(st.integers(min_value=2, max_value=4))
+    works = tuple(
+        draw(st.integers(min_value=1, max_value=5)) for _ in range(n_ports)
+    )
+    buffer_size = draw(st.integers(min_value=n_ports, max_value=8))
+    config = SwitchConfig.from_works(works, buffer_size)
+    arrivals = []
+    for slot in range(draw(st.integers(min_value=1, max_value=6))):
+        for _ in range(draw(st.integers(min_value=0, max_value=6))):
+            port = draw(st.integers(min_value=0, max_value=n_ports - 1))
+            arrivals.append((slot, port))
+    return config, arrivals
+
+
+def drive(config, arrivals, policy, on_push_out):
+    """Run arrivals through the policy; call back on every push-out with
+    the pre-decision switch state."""
+    switch = SharedMemorySwitch(config)
+    current_slot = -1
+    for slot, port in arrivals:
+        while current_slot < slot:
+            if current_slot >= 0:
+                switch.transmission_phase()
+            current_slot += 1
+        packet = Packet(
+            port=port, work=config.work_of(port), arrival_slot=slot
+        )
+        decision = policy.admit(switch.view, packet)
+        if decision.action is Action.PUSH_OUT:
+            on_push_out(switch, packet, decision.victim_port)
+        switch.apply(packet, decision)
+
+
+@settings(max_examples=50, deadline=None)
+@given(state=processing_state())
+def test_lqd_victim_is_longest(state):
+    config, arrivals = state
+
+    def check(switch, packet, victim):
+        lens = [
+            len(switch.queues[p]) + (1 if p == packet.port else 0)
+            for p in range(config.n_ports)
+        ]
+        assert len(switch.queues[victim]) == max(lens), (
+            f"LQD evicted from queue {victim} (len "
+            f"{len(switch.queues[victim])}) but max virtual len is "
+            f"{max(lens)}"
+        )
+
+    drive(config, arrivals, make_policy("LQD"), check)
+
+
+@settings(max_examples=50, deadline=None)
+@given(state=processing_state())
+def test_lwd_victim_has_max_work(state):
+    config, arrivals = state
+
+    def check(switch, packet, victim):
+        virtual = [
+            switch.queues[p].total_work
+            + (config.work_of(p) if p == packet.port else 0)
+            for p in range(config.n_ports)
+        ]
+        assert switch.queues[victim].total_work == max(virtual)
+
+    drive(config, arrivals, make_policy("LWD"), check)
+
+
+@settings(max_examples=50, deadline=None)
+@given(state=processing_state())
+def test_bpd_victim_has_max_per_packet_work(state):
+    config, arrivals = state
+
+    def check(switch, packet, victim):
+        nonempty_works = [
+            config.work_of(p)
+            for p in range(config.n_ports)
+            if len(switch.queues[p]) > 0
+        ]
+        assert config.work_of(victim) == max(nonempty_works)
+        # Acceptance condition: the arrival precedes the victim in the
+        # sorted-port order.
+        assert (config.work_of(packet.port), packet.port) <= (
+            config.work_of(victim), victim,
+        )
+
+    drive(config, arrivals, make_policy("BPD"), check)
+
+
+@st.composite
+def value_state(draw):
+    n_ports = draw(st.integers(min_value=2, max_value=4))
+    buffer_size = draw(st.integers(min_value=n_ports, max_value=8))
+    config = SwitchConfig.uniform(
+        n_ports, buffer_size, work=1, discipline=QueueDiscipline.PRIORITY,
+    )
+    arrivals = []
+    for slot in range(draw(st.integers(min_value=1, max_value=6))):
+        for _ in range(draw(st.integers(min_value=0, max_value=6))):
+            arrivals.append(
+                (
+                    slot,
+                    draw(st.integers(min_value=0, max_value=n_ports - 1)),
+                    float(draw(st.integers(min_value=1, max_value=9))),
+                )
+            )
+    return config, arrivals
+
+
+def drive_value(config, arrivals, policy, on_push_out):
+    switch = SharedMemorySwitch(config)
+    current_slot = -1
+    for slot, port, value in arrivals:
+        while current_slot < slot:
+            if current_slot >= 0:
+                switch.transmission_phase()
+            current_slot += 1
+        packet = Packet(port=port, work=1, value=value, arrival_slot=slot)
+        decision = policy.admit(switch.view, packet)
+        if decision.action is Action.PUSH_OUT:
+            on_push_out(switch, packet, decision.victim_port)
+        switch.apply(packet, decision)
+
+
+@settings(max_examples=50, deadline=None)
+@given(state=value_state())
+def test_mvd_victim_holds_global_minimum(state):
+    config, arrivals = state
+
+    def check(switch, packet, victim):
+        buffer_min = min(
+            switch.queues[p].min_value
+            for p in range(config.n_ports)
+            if len(switch.queues[p]) > 0
+        )
+        assert switch.queues[victim].peek_tail().value == buffer_min
+        # MVD only trades up.
+        assert packet.value > buffer_min
+
+    drive_value(config, arrivals, make_policy("MVD"), check)
+
+
+@settings(max_examples=50, deadline=None)
+@given(state=value_state())
+def test_mrd_victim_has_max_ratio(state):
+    config, arrivals = state
+
+    def check(switch, packet, victim):
+        ratios = [
+            len(switch.queues[p]) / switch.queues[p].avg_value
+            for p in range(config.n_ports)
+            if len(switch.queues[p]) > 0
+        ]
+        victim_ratio = (
+            len(switch.queues[victim]) / switch.queues[victim].avg_value
+        )
+        assert victim_ratio == max(ratios)
+        # Admission condition: global min strictly below the arrival.
+        buffer_min = min(
+            switch.queues[p].min_value
+            for p in range(config.n_ports)
+            if len(switch.queues[p]) > 0
+        )
+        assert buffer_min < packet.value
+
+    drive_value(config, arrivals, make_policy("MRD"), check)
+
+
+@settings(max_examples=50, deadline=None)
+@given(state=value_state())
+def test_lqd_value_victim_is_longest(state):
+    config, arrivals = state
+
+    def check(switch, packet, victim):
+        lens = [
+            len(switch.queues[p]) + (1 if p == packet.port else 0)
+            for p in range(config.n_ports)
+        ]
+        assert len(switch.queues[victim]) == max(lens)
+
+    drive_value(config, arrivals, make_policy("LQD-V"), check)

@@ -1,0 +1,154 @@
+"""Tests for the FIFO output queue (processing model)."""
+
+import pytest
+
+from repro.core.errors import PolicyError, TraceError
+from repro.core.packet import Packet
+from repro.core.queues import FifoQueue
+
+
+def pkt(work: int, port: int = 0) -> Packet:
+    return Packet(port=port, work=work)
+
+
+class TestAdmission:
+    def test_admit_appends_in_order(self):
+        q = FifoQueue(0)
+        a, b = pkt(2), pkt(2)
+        q.admit(a)
+        q.admit(b)
+        assert list(q) == [a, b]
+        assert q.peek_head() is a
+        assert q.peek_tail() is b
+
+    def test_aggregates_track_admissions(self):
+        q = FifoQueue(0)
+        q.admit(Packet(port=0, work=3, value=2.0))
+        q.admit(Packet(port=0, work=3, value=5.0))
+        assert q.total_work == 6
+        assert q.total_value == pytest.approx(7.0)
+        assert len(q) == 2
+
+    def test_admitting_spent_packet_rejected(self):
+        q = FifoQueue(0)
+        spent = Packet(port=0, work=2, residual=2)
+        spent.residual = 0
+        with pytest.raises(TraceError):
+            q.admit(spent)
+
+
+class TestDropTail:
+    def test_drop_tail_removes_most_recent(self):
+        q = FifoQueue(0)
+        a, b = pkt(1), pkt(1)
+        q.admit(a)
+        q.admit(b)
+        assert q.drop_tail() is b
+        assert list(q) == [a]
+
+    def test_drop_tail_updates_aggregates(self):
+        q = FifoQueue(0)
+        q.admit(Packet(port=0, work=4, value=3.0))
+        q.admit(Packet(port=0, work=4, value=1.0))
+        q.drop_tail()
+        assert q.total_work == 4
+        assert q.total_value == pytest.approx(3.0)
+
+    def test_drop_tail_empty_raises(self):
+        with pytest.raises(PolicyError):
+            FifoQueue(0).drop_tail()
+
+
+class TestProcessing:
+    def test_single_core_decrements_head_only(self):
+        q = FifoQueue(0)
+        q.admit(pkt(3))
+        q.admit(pkt(3))
+        done = q.process(cores=1)
+        assert done == []
+        assert q.peek_head().residual == 2
+        assert q.peek_tail().residual == 3
+        assert q.total_work == 5
+
+    def test_completion_transmits_in_fifo_order(self):
+        q = FifoQueue(0)
+        a, b = pkt(1), pkt(1)
+        q.admit(a)
+        q.admit(b)
+        done = q.process(cores=1)
+        assert done == [a]
+        done = q.process(cores=1)
+        assert done == [b]
+        assert len(q) == 0
+
+    def test_multicore_processes_prefix(self):
+        q = FifoQueue(0)
+        packets = [pkt(2) for _ in range(4)]
+        for p in packets:
+            q.admit(p)
+        assert q.process(cores=3) == []
+        # After one more multi-core slot the first three complete together.
+        done = q.process(cores=3)
+        assert done == packets[:3]
+        assert q.peek_head() is packets[3]
+        assert q.peek_head().residual == 2
+
+    def test_multicore_unit_work_transmits_burst(self):
+        q = FifoQueue(0)
+        packets = [pkt(1) for _ in range(5)]
+        for p in packets:
+            q.admit(p)
+        done = q.process(cores=4)
+        assert done == packets[:4]
+        assert len(q) == 1
+
+    def test_total_work_consistent_after_processing(self):
+        q = FifoQueue(0)
+        for _ in range(3):
+            q.admit(pkt(4))
+        q.process(cores=2)
+        assert q.total_work == sum(p.residual for p in q)
+
+    def test_process_empty_queue(self):
+        assert FifoQueue(0).process(cores=2) == []
+
+    def test_invalid_core_count(self):
+        q = FifoQueue(0)
+        with pytest.raises(PolicyError):
+            q.process(cores=0)
+
+
+class TestClear:
+    def test_clear_returns_contents_and_resets(self):
+        q = FifoQueue(0)
+        a, b = pkt(2), pkt(2)
+        q.admit(a)
+        q.admit(b)
+        dropped = q.clear()
+        assert dropped == [a, b]
+        assert len(q) == 0
+        assert q.total_work == 0
+        assert q.total_value == 0.0
+
+
+class TestAggregatesEdgeCases:
+    def test_avg_value_empty_raises(self):
+        with pytest.raises(PolicyError):
+            FifoQueue(0).avg_value
+
+    def test_min_value_empty_raises(self):
+        with pytest.raises(PolicyError):
+            FifoQueue(0).min_value
+
+    def test_min_and_avg_value(self):
+        q = FifoQueue(0)
+        q.admit(Packet(port=0, work=1, value=4.0))
+        q.admit(Packet(port=0, work=1, value=2.0))
+        assert q.min_value == 2.0
+        assert q.avg_value == pytest.approx(3.0)
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(PolicyError):
+            FifoQueue(0).peek_head()
+        with pytest.raises(PolicyError):
+            FifoQueue(0).peek_tail()

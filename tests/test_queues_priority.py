@@ -1,0 +1,115 @@
+"""Tests for the value-ordered output queue (value model)."""
+
+import pytest
+
+from repro.core.errors import PolicyError
+from repro.core.packet import Packet
+from repro.core.queues import ValuePriorityQueue
+
+
+def vpkt(value: float, port: int = 0) -> Packet:
+    return Packet(port=port, work=1, value=value)
+
+
+class TestOrdering:
+    def test_head_is_most_valuable(self):
+        q = ValuePriorityQueue(0)
+        low, high, mid = vpkt(1.0), vpkt(9.0), vpkt(5.0)
+        for p in (low, high, mid):
+            q.admit(p)
+        assert q.peek_head() is high
+        assert q.peek_tail() is low
+        assert [p.value for p in q] == [9.0, 5.0, 1.0]
+
+    def test_equal_values_fifo_for_transmission(self):
+        q = ValuePriorityQueue(0)
+        first, second = vpkt(3.0), vpkt(3.0)
+        q.admit(first)
+        q.admit(second)
+        # Older equal-valued packet transmits first ...
+        assert q.peek_head() is first
+        # ... and the newer one is evicted first.
+        assert q.peek_tail() is second
+
+    def test_interleaved_inserts_stay_sorted(self):
+        q = ValuePriorityQueue(0)
+        for v in (4.0, 1.0, 7.0, 3.0, 7.0, 2.0):
+            q.admit(vpkt(v))
+        values = [p.value for p in q]
+        assert values == sorted(values, reverse=True)
+
+
+class TestEviction:
+    def test_drop_tail_removes_cheapest(self):
+        q = ValuePriorityQueue(0)
+        cheap, rich = vpkt(1.0), vpkt(8.0)
+        q.admit(rich)
+        q.admit(cheap)
+        assert q.drop_tail() is cheap
+        assert q.peek_head() is rich
+
+    def test_drop_tail_empty_raises(self):
+        with pytest.raises(PolicyError):
+            ValuePriorityQueue(0).drop_tail()
+
+    def test_aggregates_after_eviction(self):
+        q = ValuePriorityQueue(0)
+        q.admit(vpkt(2.0))
+        q.admit(vpkt(6.0))
+        q.drop_tail()
+        assert q.total_value == pytest.approx(6.0)
+        assert q.total_work == 1
+        assert q.min_value == 6.0
+
+
+class TestProcessing:
+    def test_transmits_most_valuable_first(self):
+        q = ValuePriorityQueue(0)
+        low, high = vpkt(1.0), vpkt(5.0)
+        q.admit(low)
+        q.admit(high)
+        done = q.process(cores=1)
+        assert done == [high]
+        assert q.peek_head() is low
+
+    def test_multicore_transmits_top_values(self):
+        q = ValuePriorityQueue(0)
+        packets = [vpkt(float(v)) for v in (1, 2, 3, 4, 5)]
+        for p in packets:
+            q.admit(p)
+        done = q.process(cores=3)
+        assert [p.value for p in done] == [5.0, 4.0, 3.0]
+        assert [p.value for p in q] == [2.0, 1.0]
+
+    def test_process_empty(self):
+        assert ValuePriorityQueue(0).process(cores=2) == []
+
+    def test_total_work_tracks_processing(self):
+        q = ValuePriorityQueue(0)
+        for v in (1.0, 2.0):
+            q.admit(vpkt(v))
+        q.process(cores=1)
+        assert q.total_work == 1
+
+
+class TestAggregates:
+    def test_min_value_constant_time_field(self):
+        q = ValuePriorityQueue(0)
+        for v in (5.0, 2.0, 9.0):
+            q.admit(vpkt(v))
+        assert q.min_value == 2.0
+
+    def test_avg_value(self):
+        q = ValuePriorityQueue(0)
+        for v in (2.0, 4.0, 6.0):
+            q.admit(vpkt(v))
+        assert q.avg_value == pytest.approx(4.0)
+
+    def test_clear_returns_head_to_tail(self):
+        q = ValuePriorityQueue(0)
+        for v in (1.0, 3.0, 2.0):
+            q.admit(vpkt(v))
+        dropped = q.clear()
+        assert [p.value for p in dropped] == [3.0, 2.0, 1.0]
+        assert len(q) == 0
+        assert q.total_value == 0.0

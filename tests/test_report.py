@@ -1,0 +1,51 @@
+"""Tests for the one-command reproduction report."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.report import ReportOptions, generate_report
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def small_report(self):
+        # A single panel at tiny scale keeps this test fast while still
+        # exercising every section of the generator.
+        return generate_report(
+            ReportOptions(
+                n_slots=150, include_panels=(1,), include_extensions=False,
+            )
+        )
+
+    def test_contains_theorem_table(self, small_report):
+        assert "## Lower-bound theorems" in small_report
+        assert "Theorem 7" not in small_report  # no scenario for thm7
+        assert "Theorem 6" in small_report
+        assert "predicted" in small_report
+
+    def test_contains_selected_panel_only(self, small_report):
+        assert "### Panel (1)" in small_report
+        assert "### Panel (2)" not in small_report
+
+    def test_extensions_toggle(self):
+        report = generate_report(
+            ReportOptions(
+                n_slots=120, include_panels=(),
+                include_theorems=False, include_extensions=False,
+            )
+        )
+        assert "Lower-bound" not in report
+        assert "Panel" not in report
+        assert "Generated in" in report
+
+
+class TestCliReport:
+    def test_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(
+            ["report", "--out", str(out), "--slots", "120",
+             "--panels", "2"]
+        ) == 0
+        text = out.read_text()
+        assert "### Panel (2)" in text
+        assert "Architecture" in text  # extensions default on

@@ -1,0 +1,65 @@
+"""Tests for the traffic-family robustness study."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.experiments.robustness import (
+    DEFAULT_POLICIES,
+    run_robustness_study,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_robustness_study(
+        k=6, buffer_size=48, n_slots=800, load=3.0, seed=0,
+        policies=("NEST", "LQD", "BPD", "LWD"),
+    )
+
+
+class TestStudyMechanics:
+    def test_all_families_measured(self, result):
+        assert set(result.ratios) == {"mmpp", "poisson", "periodic", "pareto"}
+
+    def test_all_policies_measured(self, result):
+        for row in result.ratios.values():
+            assert set(row) == {"NEST", "LQD", "BPD", "LWD"}
+            assert all(r >= 0.99 for r in row.values())
+
+    def test_ranking_sorted_by_ratio(self, result):
+        for family in result.ratios:
+            ranking = result.ranking(family)
+            ratios = [result.ratios[family][name] for name in ranking]
+            assert ratios == sorted(ratios)
+
+    def test_table_renders(self, result):
+        table = result.format_table()
+        assert "mmpp" in table and "pareto" in table and "LWD" in table
+
+    def test_needs_policies(self):
+        with pytest.raises(ConfigError):
+            run_robustness_study(policies=())
+
+    def test_default_policy_lineup(self):
+        assert "LWD" in DEFAULT_POLICIES and "BPD" in DEFAULT_POLICIES
+
+
+class TestRobustnessClaims:
+    def test_lwd_top_under_every_bursty_family(self, result):
+        """The headline claim survives all bursty traffic families."""
+        for family in ("mmpp", "periodic", "pareto"):
+            best = result.ratios[family]["LWD"]
+            for name, ratio in result.ratios[family].items():
+                assert best <= ratio + 1e-9, (family, name)
+
+    def test_policies_collapse_under_smooth_overload(self, result):
+        """Under memoryless Poisson overload the work-conserving policies
+        tie (the burstiness ablation's negative control); only BPD-style
+        port starvation still shows."""
+        row = result.ratios["poisson"]
+        work_conserving = [row["NEST"], row["LQD"], row["LWD"]]
+        assert max(work_conserving) - min(work_conserving) < 0.1
+
+    def test_bpd_never_best(self, result):
+        for family in result.ratios:
+            assert result.best_policy(family) != "BPD"

@@ -1,0 +1,58 @@
+"""Tests for the scripted clairvoyant OPT policy."""
+
+import pytest
+
+from repro.core.config import SwitchConfig
+from repro.core.errors import TraceError
+from repro.core.packet import Packet
+from repro.core.switch import SharedMemorySwitch
+from repro.opt.scripted import ScriptedPolicy
+
+
+def tagged(port, accept, work=1):
+    return Packet(port=port, work=work, opt_accept=accept)
+
+
+@pytest.fixture
+def switch():
+    return SharedMemorySwitch(SwitchConfig.contiguous(2, 2))
+
+
+class TestStrictMode:
+    def test_accepts_tagged_packets(self, switch):
+        switch.offer(tagged(0, True), ScriptedPolicy())
+        assert switch.occupancy == 1
+
+    def test_drops_untagged_false(self, switch):
+        switch.offer(tagged(0, False), ScriptedPolicy())
+        assert switch.occupancy == 0
+
+    def test_missing_tag_raises(self, switch):
+        with pytest.raises(TraceError, match="opt_accept"):
+            switch.offer(Packet(port=0, work=1), ScriptedPolicy())
+
+    def test_infeasible_plan_raises(self, switch):
+        policy = ScriptedPolicy()
+        switch.offer(tagged(0, True), policy)
+        switch.offer(tagged(0, True), policy)
+        with pytest.raises(TraceError, match="infeasible"):
+            switch.offer(tagged(1, True, work=2), policy)
+
+
+class TestLenientMode:
+    def test_missing_tag_drops(self, switch):
+        switch.offer(Packet(port=0, work=1), ScriptedPolicy(strict=False))
+        assert switch.occupancy == 0
+
+    def test_overflow_accept_degrades_to_drop(self, switch):
+        policy = ScriptedPolicy(strict=False)
+        for _ in range(3):
+            switch.offer(tagged(0, True), policy)
+        assert switch.occupancy == 2
+        assert switch.metrics.dropped == 1
+
+    def test_never_pushes_out(self, switch):
+        policy = ScriptedPolicy(strict=False)
+        for _ in range(5):
+            switch.offer(tagged(0, True), policy)
+        assert switch.metrics.pushed_out == 0

@@ -1,0 +1,64 @@
+"""Tests for the one-at-a-time sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    DEFAULT_KNOBS,
+    OperatingPoint,
+    run_sensitivity,
+)
+from repro.core.errors import ConfigError
+
+
+class TestOperatingPoint:
+    def test_off_slots_from_duty_cycle(self):
+        point = OperatingPoint(duty_cycle=0.01, mean_on_slots=20.0)
+        assert point.mean_off_slots == pytest.approx(1980.0)
+
+    def test_with_changes_is_pure(self):
+        base = OperatingPoint()
+        changed = base.with_changes(load=9.0)
+        assert changed.load == 9.0
+        assert base.load == 3.0
+        assert changed.k == base.k
+
+    def test_invalid_duty_cycle(self):
+        with pytest.raises(ConfigError):
+            OperatingPoint(duty_cycle=0.0).mean_off_slots
+        with pytest.raises(ConfigError):
+            OperatingPoint(duty_cycle=1.0).mean_off_slots
+
+
+class TestRunSensitivity:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_sensitivity(
+            base=OperatingPoint(n_slots=500, k=6, buffer_size=48)
+        )
+
+    def test_all_knobs_measured(self, report):
+        assert {row.knob for row in report.rows} == set(DEFAULT_KNOBS)
+
+    def test_ratios_plausible(self, report):
+        for row in report.rows:
+            for ratios in (row.ratios_low, row.ratios_high):
+                assert all(0.99 <= r < 20 for r in ratios.values())
+
+    def test_tornado_sorted_descending(self, report):
+        swings = [swing for _knob, swing in report.tornado()]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_load_increases_congestion(self, report):
+        row = next(r for r in report.rows if r.knob == "load")
+        # Higher load -> higher ratios for both policies.
+        assert row.ratios_high["LWD"] > row.ratios_low["LWD"]
+
+    def test_burstiness_dominates_buffer(self, report):
+        """The calibration story: the duty cycle moves the LWD-LQD gap
+        more than the buffer size does."""
+        swings = dict(report.tornado())
+        assert swings["duty_cycle"] > swings["buffer_size"]
+
+    def test_table_renders(self, report):
+        table = report.format_table()
+        assert "base:" in table and "swing" in table

@@ -1,0 +1,77 @@
+"""Tests for the skewed port-value distribution experiment."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SwitchConfig
+from repro.core.errors import ConfigError
+from repro.experiments.skewed import (
+    DEFAULT_SKEWS,
+    SkewPoint,
+    run_skew_sweep,
+    skew_weights,
+)
+
+
+class TestSkewWeights:
+    def test_zero_skew_is_uniform(self):
+        config = SwitchConfig.value_contiguous(4, 8)
+        weights = skew_weights(config, 0.0)
+        assert np.allclose(weights, 1.0)
+
+    def test_positive_skew_prefers_high_values(self):
+        config = SwitchConfig.value_contiguous(4, 8)
+        weights = skew_weights(config, 1.0)
+        assert list(weights) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_negative_skew_prefers_low_values(self):
+        config = SwitchConfig.value_contiguous(4, 8)
+        weights = skew_weights(config, -1.0)
+        assert weights[0] > weights[-1]
+
+
+class TestSkewPoint:
+    def test_mrd_advantage(self):
+        point = SkewPoint(skew=0.0, ratios={"LQD-V": 1.5, "MRD": 1.2})
+        assert point.mrd_advantage == pytest.approx(0.3)
+
+
+class TestRunSkewSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_skew_sweep(
+            k=6, buffer_size=48, n_slots=800,
+            skews=(-1.0, 0.0, 1.0), seed=1,
+        )
+
+    def test_one_point_per_skew(self, result):
+        assert [p.skew for p in result.points] == [-1.0, 0.0, 1.0]
+
+    def test_ratios_plausible(self, result):
+        for point in result.points:
+            for ratio in point.ratios.values():
+                assert 0.99 <= ratio < 50
+
+    def test_mrd_never_much_worse_than_lqd(self, result):
+        """The paper: 'our experiments suggest that MRD is never
+        explicitly worse than LQD'."""
+        for point in result.points:
+            assert point.mrd_advantage > -0.1
+
+    def test_advantage_grows_under_cheap_port_concentration(self, result):
+        by_skew = {p.skew: p.mrd_advantage for p in result.points}
+        assert by_skew[-1.0] > by_skew[1.0] - 0.05
+
+    def test_table_format(self, result):
+        table = result.format_table()
+        assert "LQD-MRD" in table
+        assert "MRD" in table.splitlines()[0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            run_skew_sweep(skews=())
+        with pytest.raises(ConfigError):
+            run_skew_sweep(policies=("MVD",), skews=(0.0,))
+
+    def test_default_skew_grid_includes_uniform(self):
+        assert 0.0 in DEFAULT_SKEWS

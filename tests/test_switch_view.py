@@ -1,0 +1,95 @@
+"""Tests for the read-only SwitchView facade policies consult."""
+
+import pytest
+
+from repro.core.config import SwitchConfig
+from repro.core.errors import PolicyError
+from repro.core.packet import Packet
+from repro.core.switch import SharedMemorySwitch
+
+from conftest import AcceptAll, pkt
+
+
+@pytest.fixture
+def switch():
+    return SharedMemorySwitch(SwitchConfig.contiguous(3, 9))
+
+
+@pytest.fixture
+def value_switch():
+    return SharedMemorySwitch(SwitchConfig.value_contiguous(3, 9))
+
+
+class TestStaticQueries:
+    def test_config_passthrough(self, switch):
+        view = switch.view
+        assert view.n_ports == 3
+        assert view.buffer_size == 9
+        assert view.work_of(2) == 3
+        assert view.config is switch.config
+
+    def test_occupancy_and_fullness(self, switch):
+        view = switch.view
+        assert view.occupancy == 0
+        assert not view.is_full
+        assert view.free_space == 9
+        policy = AcceptAll()
+        for _ in range(9):
+            switch.offer(pkt(0, 1), policy)
+        assert view.is_full
+        assert view.free_space == 0
+
+
+class TestQueueQueries:
+    def test_queue_len_and_total_work(self, switch):
+        policy = AcceptAll()
+        switch.offer(pkt(2, 3), policy)
+        switch.offer(pkt(2, 3), policy)
+        view = switch.view
+        assert view.queue_len(2) == 2
+        assert view.total_work(2) == 6
+        assert view.queue_len(0) == 0
+
+    def test_total_work_tracks_processing(self, switch):
+        switch.offer(pkt(2, 3), AcceptAll())
+        switch.transmission_phase()
+        assert switch.view.total_work(2) == 2
+
+    def test_nonempty_ports(self, switch):
+        policy = AcceptAll()
+        switch.offer(pkt(0, 1), policy)
+        switch.offer(pkt(2, 3), policy)
+        assert switch.view.nonempty_ports() == [0, 2]
+
+    def test_queue_packets_snapshot_is_copy(self, switch):
+        switch.offer(pkt(1, 2), AcceptAll())
+        snapshot = switch.view.queue_packets(1)
+        snapshot.clear()
+        assert switch.view.queue_len(1) == 1
+
+
+class TestValueQueries:
+    def test_value_aggregates(self, value_switch):
+        policy = AcceptAll()
+        value_switch.offer(Packet(port=1, work=1, value=2.0), policy)
+        value_switch.offer(Packet(port=1, work=1, value=6.0), policy)
+        view = value_switch.view
+        assert view.total_value(1) == pytest.approx(8.0)
+        assert view.avg_value(1) == pytest.approx(4.0)
+        assert view.min_value(1) == 2.0
+        assert view.tail_value(1) == 2.0
+
+    def test_buffer_min_value(self, value_switch):
+        policy = AcceptAll()
+        assert value_switch.view.buffer_min_value() is None
+        value_switch.offer(Packet(port=0, work=1, value=5.0), policy)
+        value_switch.offer(Packet(port=2, work=1, value=1.5), policy)
+        assert value_switch.view.buffer_min_value() == 1.5
+
+    def test_empty_queue_value_queries_raise(self, value_switch):
+        with pytest.raises(PolicyError):
+            value_switch.view.avg_value(0)
+        with pytest.raises(PolicyError):
+            value_switch.view.min_value(0)
+        with pytest.raises(PolicyError):
+            value_switch.view.tail_value(0)

@@ -1,0 +1,96 @@
+"""Sanity tests for the closed-form theorem bounds."""
+
+import math
+
+import pytest
+
+from repro._math import harmonic_number
+from repro.analysis import theory
+
+
+class TestProcessingBounds:
+    def test_nhst_contiguous(self):
+        # Contiguous configuration: Z = H_k, bound = k H_k.
+        assert theory.nhst_competitiveness(4, harmonic_number(4)) == (
+            pytest.approx(4 * 25 / 12)
+        )
+
+    def test_nest_is_n(self):
+        assert theory.nest_competitiveness(7) == 7.0
+
+    def test_nhdt_asymptotic_form(self):
+        assert theory.nhdt_lower_bound(100) == pytest.approx(
+            0.5 * math.sqrt(100 * math.log(100))
+        )
+        assert theory.nhdt_lower_bound(1) == 1.0
+
+    def test_nhdt_finite_approaches_asymptotic(self):
+        k = 400
+        h = round(math.sqrt(k / math.log(k)))
+        finite = theory.nhdt_lower_bound_finite(k, 100 * k, h)
+        assert finite == pytest.approx(
+            theory.nhdt_lower_bound(k), rel=0.35
+        )
+
+    def test_lqd_bounds(self):
+        assert theory.lqd_processing_lower_bound(16) == 4.0
+        # Convergence to sqrt(k) is slow; at finite k the proof's ratio
+        # sits at a constant fraction of sqrt(k) and scales like it:
+        # quadrupling k should roughly double the finite bound.
+        f400 = theory.lqd_processing_lower_bound_finite(400, 40_000, 20)
+        f1600 = theory.lqd_processing_lower_bound_finite(1600, 160_000, 40)
+        assert f400 > 0.4 * math.sqrt(400)
+        assert f1600 / f400 == pytest.approx(2.0, rel=0.2)
+
+    def test_bpd_bounds(self):
+        assert theory.bpd_lower_bound(8) == pytest.approx(
+            math.log(8) + 0.5772, abs=1e-3
+        )
+        assert theory.bpd_lower_bound_exact(8) == pytest.approx(
+            harmonic_number(8)
+        )
+        # H_k > ln k + gamma for all finite k.
+        for k in (2, 10, 100):
+            assert theory.bpd_lower_bound_exact(k) > theory.bpd_lower_bound(k)
+
+    def test_lwd_bounds_ordering(self):
+        lower_contig = theory.lwd_lower_bound_contiguous(240)
+        lower_uniform = theory.lwd_lower_bound_uniform()
+        upper = theory.lwd_upper_bound()
+        assert 1.0 < lower_contig < lower_uniform < upper
+        assert upper == 2.0
+
+    def test_lwd_contiguous_approaches_four_thirds(self):
+        assert theory.lwd_lower_bound_contiguous(10**9) == pytest.approx(
+            4 / 3, abs=1e-6
+        )
+
+
+class TestValueBounds:
+    def test_greedy_is_k(self):
+        assert theory.greedy_value_lower_bound(9) == 9.0
+
+    def test_lqd_value_cbrt(self):
+        assert theory.lqd_value_lower_bound(27) == pytest.approx(3.0)
+
+    def test_lqd_value_finite_at_optimal_a(self):
+        k = 1000
+        a = round(k ** (1 / 3))
+        assert theory.lqd_value_lower_bound_finite(k, a) == pytest.approx(
+            theory.lqd_value_lower_bound(k), rel=0.4
+        )
+
+    def test_mvd_uses_min_of_k_and_buffer(self):
+        assert theory.mvd_lower_bound(100, 11) == 5.0
+        assert theory.mvd_lower_bound(11, 100) == 5.0
+
+    def test_mrd_constants(self):
+        assert theory.mrd_lower_bound_port_values() == pytest.approx(4 / 3)
+        assert theory.mrd_lower_bound_uniform_values() == pytest.approx(
+            math.sqrt(2)
+        )
+
+    def test_universal_online_bound(self):
+        assert theory.any_online_lower_bound_value_model() == pytest.approx(
+            4 / 3
+        )

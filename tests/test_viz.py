@@ -1,0 +1,96 @@
+"""Tests for the ASCII visualization helpers."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.viz import render_series, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        line = sparkline([2.0, 2.0, 2.0])
+        assert len(line) == 3
+        assert len(set(line)) == 1
+
+    def test_monotone_series_uses_ramp(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert line[0] == " " or ord(line[0]) < ord(line[-1])
+
+    def test_non_finite_marked(self):
+        line = sparkline([1.0, float("inf"), 2.0])
+        assert line[1] == "?"
+
+    def test_all_non_finite(self):
+        assert sparkline([float("inf")]) == "·"
+
+
+class TestRenderSeries:
+    def test_contains_legend_and_axes(self):
+        chart = render_series(
+            {"LWD": [(1.0, 1.1), (2.0, 1.3)], "BPD": [(1.0, 1.8), (2.0, 2.2)]},
+            title="demo", width=30, height=6,
+        )
+        assert "demo" in chart
+        assert "L=LWD" in chart and "B=BPD" in chart
+        assert "+" in chart  # x axis
+
+    def test_marker_disambiguation(self):
+        chart = render_series(
+            {"MVD": [(1.0, 1.0)], "MRD": [(1.0, 2.0)]},
+            width=10, height=4,
+        )
+        # Both start with M; the second must get a different marker.
+        legend = chart.splitlines()[-1]
+        assert "M=MVD" in legend
+        assert "=MRD" in legend and "M=MRD" not in legend
+
+    def test_single_point(self):
+        chart = render_series({"X": [(1.0, 1.0)]}, width=8, height=4)
+        assert "X=X" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            render_series({})
+
+    def test_no_plottable_points_rejected(self):
+        with pytest.raises(ConfigError):
+            render_series({"X": [(1.0, float("inf"))]})
+
+
+class TestAdapters:
+    def test_render_sweep(self):
+        from repro.analysis.sweep import SweepPoint, SweepResult
+        from repro.viz import render_sweep
+
+        result = SweepResult(name="demo", param_name="k")
+        for k in (2.0, 4.0):
+            for policy, ratio in (("LWD", 1.0 + k / 10), ("BPD", 1.5 + k / 5)):
+                result.points.append(
+                    SweepPoint(
+                        param_value=k, policy=policy, seed=0,
+                        ratio=ratio, alg_objective=1.0, opt_objective=ratio,
+                    )
+                )
+        chart = render_sweep(result, width=20, height=5)
+        assert "demo" in chart
+        assert "L=LWD" in chart
+
+    def test_render_convergence(self):
+        from repro.analysis.convergence import (
+            ConvergencePoint,
+            ConvergenceProfile,
+        )
+        from repro.viz import render_convergence
+
+        profile = ConvergenceProfile(
+            policy_name="LWD",
+            points=[
+                ConvergencePoint(100, 10.0, 15.0),
+                ConvergencePoint(200, 25.0, 33.0),
+            ],
+        )
+        chart = render_convergence(profile, width=20, height=5)
+        assert "LWD" in chart
