@@ -44,9 +44,16 @@ from repro.analysis.sensitivity import (
     SensitivityReport,
     run_sensitivity,
 )
+from repro.analysis.cache import SweepCache, config_payload, default_cache_dir
 from repro.analysis.stats import Summary, geometric_mean, summarize
 from repro.analysis.streaming import StreamResult, stream_competitive
-from repro.analysis.sweep import SweepPoint, SweepResult, run_sweep
+from repro.analysis.sweep import (
+    SweepPoint,
+    SweepResult,
+    SweepStats,
+    resolve_jobs,
+    run_sweep,
+)
 
 __all__ = [
     "CompetitiveResult",
@@ -71,9 +78,14 @@ __all__ = [
     "service_profile",
     "work_normalized_shares",
     "Summary",
+    "SweepCache",
     "SweepPoint",
     "SweepResult",
+    "SweepStats",
     "adversarial_search",
+    "config_payload",
+    "default_cache_dir",
+    "resolve_jobs",
     "convergence_profile",
     "evaluate_instance",
     "evaluate_processing_instance",

@@ -1,0 +1,186 @@
+"""Content-addressed on-disk cache for sweep cell results.
+
+Paper-scale Fig. 5 runs (2*10^6 slots, nine panels, multiple seeds) take
+hours; interrupting one used to throw everything away. The cache stores
+one :class:`~repro.analysis.sweep.SweepPoint` per file, addressed by the
+SHA-256 of a canonical JSON payload describing *everything* that
+determines the measurement:
+
+* the full :class:`~repro.core.config.SwitchConfig` (buffer size, per-port
+  work/value, speedup, discipline);
+* a caller-supplied *workload token* naming the trace generator and its
+  parameters (experiment id, model, ``n_slots``, load, ...);
+* the policy name, the sweep parameter value, and the replication seed;
+* the measurement knobs (``by_value``, ``flush_every``, ``drain``);
+* a cache schema version and the package version, so results from an
+  older engine are never silently reused after a semantic change.
+
+Because simulations are deterministic given that payload, a hit can be
+substituted for a fresh run without changing a single output byte — the
+parallel/serial/cached determinism contract that
+:mod:`repro.analysis.sweep` tests rely on. Entries are written atomically
+(temp file + ``os.replace``) so concurrent sweeps sharing a cache
+directory cannot observe torn files; unreadable or corrupt entries are
+treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+from repro.core.config import SwitchConfig
+from repro.core.errors import ConfigError
+
+#: Bump when the cached payload layout or engine semantics change in a
+#: way that invalidates previously stored measurements.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """The CLI's default cache location.
+
+    ``SHMEM_CACHE_DIR`` overrides; otherwise ``results/sweep-cache``
+    under the current directory (``results/`` is already gitignored).
+    """
+    env = os.environ.get("SHMEM_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path("results") / "sweep-cache"
+
+
+def config_payload(config: SwitchConfig) -> Dict[str, Any]:
+    """A canonical JSON-ready description of a switch configuration."""
+    return {
+        "buffer_size": config.buffer_size,
+        "speedup": config.speedup,
+        "discipline": config.discipline.value,
+        "ports": [[port.work, port.value] for port in config.ports],
+    }
+
+
+class SweepCache:
+    """Content-addressed store of sweep cell measurements.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the cache; created lazily on first write.
+
+    The cache counts its own traffic (``hits``/``misses``/``writes``) so
+    sweeps can report hit rates without threading extra state around.
+    """
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+
+    def key(
+        self,
+        *,
+        config: SwitchConfig,
+        workload: Mapping[str, Any],
+        policy: str,
+        param_value: float,
+        seed: int,
+        by_value: Optional[bool],
+        flush_every: Optional[int],
+        drain: bool,
+    ) -> str:
+        """SHA-256 content address of one (cell, policy) measurement."""
+        from repro import __version__
+
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "engine": __version__,
+            "config": config_payload(config),
+            "workload": dict(workload),
+            "policy": policy,
+            "param_value": float(param_value),
+            "seed": int(seed),
+            "by_value": by_value,
+            "flush_every": flush_every,
+            "drain": bool(drain),
+        }
+        canonical = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored measurement dict for ``key``, or ``None`` on miss.
+
+        Corrupt or truncated entries (e.g. from a killed process writing
+        without the atomic path) count as misses.
+        """
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        point = entry.get("point")
+        if not isinstance(point, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return point
+
+    def put(self, key: str, point: Mapping[str, Any]) -> None:
+        """Atomically store a measurement dict under ``key``.
+
+        Raises :class:`~repro.core.errors.ConfigError` when the cache
+        root is unusable (e.g. it names an existing file) so the CLI
+        reports a clean error instead of a traceback.
+        """
+        path = self._path(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        body = json.dumps({"schema": CACHE_SCHEMA_VERSION, "point": dict(point)})
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with tmp.open("w", encoding="utf-8") as handle:
+                handle.write(body)
+            os.replace(tmp, path)
+        except OSError as exc:
+            raise ConfigError(
+                f"cannot write sweep cache entry under {self.root}: {exc}"
+            ) from exc
+        finally:
+            if tmp.exists():  # pragma: no cover - only on write failure
+                tmp.unlink()
+        self.writes += 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when untouched)."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SweepCache(root={str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, writes={self.writes})"
+        )

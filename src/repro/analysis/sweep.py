@@ -6,15 +6,49 @@ configuration for each parameter value, another builds the (seeded)
 workload, and the runner measures every policy on the *same* trace per
 (value, seed) pair — policies must be compared on identical arrivals for
 the ratios to be comparable.
+
+Execution model
+---------------
+The unit of work is a *cell*: one (parameter value, seed) pair. Within a
+cell the trace is generated exactly once — from the cell's configuration
+and its seed, nothing else — and replayed against every policy plus the
+OPT surrogate, which is what makes per-policy ratios comparable. Cells
+are mutually independent, so ``run_sweep(..., jobs=N)`` fans them out
+over a :class:`concurrent.futures.ProcessPoolExecutor`; because each
+worker re-derives its trace from the same ``(config, value, seed)``
+triple the simulation is bit-for-bit identical to the serial path, and
+results are reassembled in the canonical serial order (value, then seed,
+then policy). The determinism contract is strict and tested: a parallel
+run produces byte-identical CSV output to a serial run of the same spec.
+
+Completed cells can be memoized in a content-addressed
+:class:`~repro.analysis.cache.SweepCache`, letting interrupted
+paper-scale runs resume and repeated panels skip straight to assembly.
+Per-sweep throughput (cells/sec) and cache hit rate are collected in
+:class:`SweepStats` and surfaced by the CLI and
+``repro.experiments.report``.
 """
 
 from __future__ import annotations
 
 import csv
+import multiprocessing
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.analysis.cache import SweepCache
 from repro.analysis.competitive import measure_competitive_ratio
 from repro.analysis.stats import Summary, summarize
 from repro.core.config import SwitchConfig
@@ -24,6 +58,7 @@ from repro.traffic.trace import Trace
 
 ConfigFactory = Callable[[float], SwitchConfig]
 TraceFactory = Callable[[SwitchConfig, float, int], Trace]
+ProgressCallback = Callable[[str], None]
 
 
 @dataclass(frozen=True)
@@ -39,12 +74,59 @@ class SweepPoint:
 
 
 @dataclass
+class SweepStats:
+    """Execution telemetry of one :func:`run_sweep` call.
+
+    ``cells_total`` counts (value, seed) pairs; a cell is *executed* when
+    at least one of its policies had to be simulated (as opposed to all
+    of them arriving from the cache). ``cache_hits``/``cache_misses``
+    count per-(cell, policy) lookups, so a partially cached cell
+    contributes to both.
+    """
+
+    cells_total: int = 0
+    cells_executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_seconds: float = 0.0
+    jobs: int = 1
+
+    @property
+    def cells_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.cells_total / self.elapsed_seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.cache_hits / lookups
+
+    def summary(self) -> str:
+        """One line for CLI footers and report appendices."""
+        text = (
+            f"{self.cells_total} cells in {self.elapsed_seconds:.2f}s "
+            f"({self.cells_per_second:.2f} cells/s, jobs={self.jobs})"
+        )
+        lookups = self.cache_hits + self.cache_misses
+        if lookups:
+            text += (
+                f", cache {self.cache_hits}/{lookups} hits "
+                f"({100 * self.cache_hit_rate:.0f}%)"
+            )
+        return text
+
+
+@dataclass
 class SweepResult:
     """All measurements of one sweep, with aggregation helpers."""
 
     name: str
     param_name: str
     points: List[SweepPoint] = field(default_factory=list)
+    stats: SweepStats = field(default_factory=SweepStats, compare=False)
 
     def policies(self) -> List[str]:
         seen: Dict[str, None] = {}
@@ -120,6 +202,199 @@ class SweepResult:
         return "\n".join(lines)
 
 
+# ----------------------------------------------------------------------
+# Cell execution (shared by the serial and parallel paths)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _CellContext:
+    """Everything a worker needs to measure one cell.
+
+    Factories are often closures (the Fig. 5 panel builders are local
+    functions), so this object cannot be pickled; the parallel path
+    relies on fork inheritance instead — see :func:`_run_cell_in_worker`.
+    """
+
+    config_factory: ConfigFactory
+    trace_factory: TraceFactory
+    by_value: Optional[bool]
+    flush_every: Optional[int]
+    drain: bool
+
+
+def _execute_cell(
+    ctx: _CellContext,
+    value: float,
+    seed: int,
+    policy_names: Sequence[str],
+) -> List[SweepPoint]:
+    """Measure ``policy_names`` on one (value, seed) cell.
+
+    The trace is derived deterministically from (config, value, seed) and
+    generated exactly once, so every policy in the cell sees identical
+    arrivals — the invariant all ratio comparisons rest on. Serial and
+    parallel runs both funnel through this function, which is what makes
+    their outputs bit-for-bit identical.
+    """
+    config = ctx.config_factory(value)
+    trace = ctx.trace_factory(config, value, seed)
+    points: List[SweepPoint] = []
+    for policy_name in policy_names:
+        policy = make_policy(policy_name)
+        outcome = measure_competitive_ratio(
+            policy,
+            trace,
+            config,
+            by_value=ctx.by_value,
+            opt="surrogate",
+            flush_every=ctx.flush_every,
+            drain=ctx.drain,
+        )
+        points.append(
+            SweepPoint(
+                param_value=float(value),
+                policy=policy_name,
+                seed=seed,
+                ratio=outcome.ratio,
+                alg_objective=outcome.alg_objective,
+                opt_objective=outcome.opt_objective,
+            )
+        )
+    return points
+
+
+#: Cell context inherited by forked pool workers. Submitted arguments
+#: must be picklable, but fork children share the parent's memory image
+#: at creation time, so the (unpicklable) factories travel through this
+#: module global instead of the call arguments.
+_WORKER_CONTEXT: Optional[_CellContext] = None
+
+
+def _run_cell_in_worker(
+    value: float, seed: int, policy_names: Tuple[str, ...]
+) -> List[SweepPoint]:
+    """Pool entry point: measure one cell using the forked context."""
+    assert _WORKER_CONTEXT is not None, "worker forked without a context"
+    return _execute_cell(_WORKER_CONTEXT, value, seed, policy_names)
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The ``fork`` multiprocessing context, or ``None`` where absent."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` request: ``None``/1 serial, 0 = all cores."""
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ConfigError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return multiprocessing.cpu_count()
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# Cache plumbing
+# ----------------------------------------------------------------------
+
+
+def _point_to_payload(point: SweepPoint) -> Dict[str, float]:
+    return {
+        "ratio": point.ratio,
+        "alg_objective": point.alg_objective,
+        "opt_objective": point.opt_objective,
+    }
+
+
+def _point_from_payload(
+    payload: Mapping[str, float], value: float, seed: int, policy: str
+) -> SweepPoint:
+    return SweepPoint(
+        param_value=float(value),
+        policy=policy,
+        seed=seed,
+        ratio=float(payload["ratio"]),
+        alg_objective=float(payload["alg_objective"]),
+        opt_objective=float(payload["opt_objective"]),
+    )
+
+
+class _CellPlan:
+    """Cache bookkeeping for one cell: hits up front, misses to run."""
+
+    def __init__(
+        self,
+        value: float,
+        seed: int,
+        cached: Dict[str, SweepPoint],
+        missing: Tuple[str, ...],
+        keys: Dict[str, str],
+    ) -> None:
+        self.value = value
+        self.seed = seed
+        self.cached = cached
+        self.missing = missing
+        self.keys = keys
+
+
+def _plan_cells(
+    param_values: Sequence[float],
+    seeds: Sequence[int],
+    policy_names: Sequence[str],
+    config_factory: ConfigFactory,
+    cache: Optional[SweepCache],
+    cache_token: Optional[Mapping[str, object]],
+    by_value: Optional[bool],
+    flush_every: Optional[int],
+    drain: bool,
+) -> List[_CellPlan]:
+    """Resolve every cell against the cache (all misses when disabled)."""
+    plans: List[_CellPlan] = []
+    for value in param_values:
+        config = config_factory(value) if cache is not None else None
+        for seed in seeds:
+            cached: Dict[str, SweepPoint] = {}
+            keys: Dict[str, str] = {}
+            missing: List[str] = []
+            for policy in policy_names:
+                if cache is None:
+                    missing.append(policy)
+                    continue
+                assert cache_token is not None  # validated by run_sweep
+                key = cache.key(
+                    config=config,
+                    workload=cache_token,
+                    policy=policy,
+                    param_value=value,
+                    seed=seed,
+                    by_value=by_value,
+                    flush_every=flush_every,
+                    drain=drain,
+                )
+                keys[policy] = key
+                payload = cache.get(key)
+                if payload is None:
+                    missing.append(policy)
+                else:
+                    cached[policy] = _point_from_payload(
+                        payload, value, seed, policy
+                    )
+            plans.append(
+                _CellPlan(value, seed, cached, tuple(missing), keys)
+            )
+    return plans
+
+
+# ----------------------------------------------------------------------
+# The sweep runner
+# ----------------------------------------------------------------------
+
+
 def run_sweep(
     name: str,
     param_name: str,
@@ -132,41 +407,157 @@ def run_sweep(
     by_value: Optional[bool] = None,
     flush_every: Optional[int] = None,
     drain: bool = False,
+    jobs: Optional[int] = None,
+    cache: Optional[SweepCache] = None,
+    cache_token: Optional[Mapping[str, object]] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> SweepResult:
     """Measure every policy at every parameter value over every seed.
 
     The trace for a (value, seed) pair is generated once and replayed
     against all policies and the OPT surrogate.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for cell execution. ``None``/1 run serially in
+        this process; ``0`` means one worker per CPU core. Parallel runs
+        produce byte-identical results to serial runs (cells are
+        reassembled in the canonical value, seed, policy order).
+    cache:
+        Optional :class:`~repro.analysis.cache.SweepCache`; completed
+        (cell, policy) measurements are reused, newly computed ones
+        stored. Requires ``cache_token``.
+    cache_token:
+        JSON-serializable description of the workload generator behind
+        ``trace_factory`` (experiment id, model, ``n_slots``, load, ...).
+        It becomes part of the content address, so two sweeps share
+        entries only when their traces are genuinely identical.
+    progress:
+        Called with one formatted line per completed cell — lightweight
+        progress reporting for paper-scale runs.
     """
     if not param_values:
         raise ConfigError("sweep needs at least one parameter value")
     if not policy_names:
         raise ConfigError("sweep needs at least one policy")
+    if cache is not None and cache_token is None:
+        raise ConfigError(
+            "caching a sweep requires a cache_token describing the "
+            "workload (see repro.analysis.cache)"
+        )
+    n_jobs = resolve_jobs(jobs)
 
-    result = SweepResult(name=name, param_name=param_name)
-    for value in param_values:
-        config = config_factory(value)
-        for seed in seeds:
-            trace = trace_factory(config, value, seed)
-            for policy_name in policy_names:
-                policy = make_policy(policy_name)
-                outcome = measure_competitive_ratio(
-                    policy,
-                    trace,
-                    config,
-                    by_value=by_value,
-                    opt="surrogate",
-                    flush_every=flush_every,
-                    drain=drain,
-                )
-                result.points.append(
-                    SweepPoint(
-                        param_value=float(value),
-                        policy=policy_name,
-                        seed=seed,
-                        ratio=outcome.ratio,
-                        alg_objective=outcome.alg_objective,
-                        opt_objective=outcome.opt_objective,
+    started = time.perf_counter()
+    # A cache may be shared across sweeps (the report runs nine panels on
+    # one); snapshot its counters so stats reflect this sweep only.
+    hits_before = cache.hits if cache is not None else 0
+    misses_before = cache.misses if cache is not None else 0
+    ctx = _CellContext(
+        config_factory=config_factory,
+        trace_factory=trace_factory,
+        by_value=by_value,
+        flush_every=flush_every,
+        drain=drain,
+    )
+    plans = _plan_cells(
+        param_values,
+        seeds,
+        policy_names,
+        config_factory,
+        cache,
+        cache_token,
+        by_value,
+        flush_every,
+        drain,
+    )
+    to_run = [plan for plan in plans if plan.missing]
+
+    computed: Dict[Tuple[float, int], Dict[str, SweepPoint]] = {}
+
+    def finish_cell(
+        plan: _CellPlan, points: Sequence[SweepPoint], done: int
+    ) -> None:
+        by_policy = {point.policy: point for point in points}
+        computed[(plan.value, plan.seed)] = by_policy
+        if cache is not None:
+            for policy, point in by_policy.items():
+                cache.put(plan.keys[policy], _point_to_payload(point))
+        if progress is not None:
+            elapsed = time.perf_counter() - started
+            rate = done / elapsed if elapsed > 0 else 0.0
+            progress(
+                f"{name}: cell {done}/{len(to_run)} "
+                f"({param_name}={plan.value:g}, seed={plan.seed}) "
+                f"[{rate:.2f} cells/s]"
+            )
+
+    if to_run and n_jobs > 1:
+        mp_context = _fork_context()
+        if mp_context is None:  # pragma: no cover - non-POSIX platforms
+            warnings.warn(
+                "parallel sweeps need the 'fork' start method; "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            n_jobs = 1
+    if to_run and n_jobs > 1:
+        global _WORKER_CONTEXT
+        _WORKER_CONTEXT = ctx
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(n_jobs, len(to_run)), mp_context=mp_context
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        _run_cell_in_worker,
+                        plan.value,
+                        plan.seed,
+                        plan.missing,
+                    ): plan
+                    for plan in to_run
+                }
+                pending = set(futures)
+                done_count = 0
+                while pending:
+                    finished, pending = wait(
+                        pending, return_when=FIRST_COMPLETED
                     )
-                )
+                    for future in finished:
+                        done_count += 1
+                        finish_cell(
+                            futures[future], future.result(), done_count
+                        )
+        finally:
+            _WORKER_CONTEXT = None
+    else:
+        for done_count, plan in enumerate(to_run, start=1):
+            finish_cell(
+                plan, _execute_cell(ctx, plan.value, plan.seed, plan.missing),
+                done_count,
+            )
+
+    # Reassemble in the canonical serial order regardless of completion
+    # order or cache state, so output bytes never depend on scheduling.
+    result = SweepResult(name=name, param_name=param_name)
+    for plan in plans:
+        fresh = computed.get((plan.value, plan.seed), {})
+        for policy in policy_names:
+            point = fresh.get(policy) or plan.cached.get(policy)
+            assert point is not None, (
+                f"cell ({plan.value}, {plan.seed}) lost policy {policy}"
+            )
+            result.points.append(point)
+
+    result.stats = SweepStats(
+        cells_total=len(plans),
+        cells_executed=len(to_run),
+        cache_hits=(cache.hits - hits_before) if cache is not None else 0,
+        cache_misses=(
+            cache.misses - misses_before if cache is not None else 0
+        ),
+        elapsed_seconds=time.perf_counter() - started,
+        jobs=n_jobs,
+    )
     return result

@@ -44,13 +44,33 @@ def _cmd_policies(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_cache_dir(args: argparse.Namespace) -> Optional[str]:
+    """Resolve the cache directory from --cache-dir / --no-cache."""
+    if getattr(args, "no_cache", False):
+        return None
+    if getattr(args, "cache_dir", None):
+        return args.cache_dir
+    from repro.analysis.cache import default_cache_dir
+
+    return str(default_cache_dir())
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    progress = None
+    if args.progress:
+        progress = lambda line: print(line, file=sys.stderr)  # noqa: E731
     result = run_experiment(
-        args.experiment, n_slots=args.slots, seeds=args.seeds
+        args.experiment,
+        n_slots=args.slots,
+        seeds=args.seeds,
+        jobs=args.jobs,
+        cache_dir=_sweep_cache_dir(args),
+        progress=progress,
     )
     if isinstance(result, SweepResult):
         print(f"# {args.experiment}: {describe_experiment(args.experiment)}")
         print(result.format_table())
+        print(f"# {result.stats.summary()}")
         if args.plot:
             from repro.viz import render_sweep
 
@@ -134,6 +154,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
         n_slots=args.slots,
         seeds=tuple(args.seeds),
         include_panels=args.panels,
+        jobs=args.jobs,
+        cache_dir=_sweep_cache_dir(args),
+        progress=(
+            (lambda line: print(line, file=sys.stderr))
+            if args.progress
+            else None
+        ),
     )
     write_report(args.out, options)
     print(f"# wrote {args.out}")
@@ -197,6 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--plot", action="store_true",
         help="render the sweep as an ASCII chart after the table",
     )
+    _add_sweep_engine_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     scen_parser = sub.add_parser(
@@ -249,8 +277,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--panels", type=int, nargs="*", default=None,
         help="restrict to these Fig. 5 panels (default: all nine)",
     )
+    _add_sweep_engine_flags(report_parser)
     report_parser.set_defaults(func=_cmd_report)
     return parser
+
+
+def _add_sweep_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Parallel/caching knobs shared by ``run`` and ``report``.
+
+    They configure the Fig. 5 sweep engine and are ignored by theorem
+    replays (single deterministic traces). Parallel and cached runs are
+    byte-identical to serial uncached runs — see docs/REPRODUCTION.md.
+    """
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for sweep cells (0 = all cores; default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help=(
+            "sweep result cache directory (default: $SHMEM_CACHE_DIR or "
+            "results/sweep-cache)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the sweep result cache for this run",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="report per-cell sweep progress on stderr",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

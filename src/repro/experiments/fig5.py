@@ -20,9 +20,11 @@ CLI.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
-from repro.analysis.sweep import SweepResult, run_sweep
+from repro.analysis.cache import SweepCache
+from repro.analysis.sweep import ProgressCallback, SweepResult, run_sweep
 from repro.core.config import QueueDiscipline, SwitchConfig
 from repro.core.errors import ExperimentError
 from repro.traffic.workloads import (
@@ -274,6 +276,27 @@ def _panel_factories(
     return config_factory, trace_factory
 
 
+def panel_cache_token(
+    spec: PanelSpec, n_slots: int, load: float
+) -> Dict[str, object]:
+    """The content-address component describing a panel's workload.
+
+    Everything the trace generator consumes beyond ``(config, value,
+    seed)`` must appear here — the cache key is only sound if two sweeps
+    with equal tokens (and equal configs/values/seeds) generate identical
+    traces. ``generator`` names the MMPP recipe so a future change to the
+    workload code can invalidate old entries by bumping it.
+    """
+    return {
+        "experiment": spec.experiment_id,
+        "model": spec.model,
+        "param_name": spec.param_name,
+        "n_slots": int(n_slots),
+        "load": float(load),
+        "generator": "mmpp-500-v1",
+    }
+
+
 def run_panel(
     panel: int,
     *,
@@ -282,25 +305,54 @@ def run_panel(
     load: float = 3.0,
     flush_every: Optional[int] = 500,
     policies: Optional[Sequence[str]] = None,
+    param_values: Optional[Sequence[float]] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[SweepCache] = None,
+    cache_dir: Optional[Path | str] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> SweepResult:
     """Execute one Fig. 5 panel and return its sweep result.
 
     ``n_slots=2000`` gives a quick but already-converged picture; pass the
-    paper's ``2_000_000`` to match Section V-A exactly (hours of runtime).
+    paper's ``2_000_000`` to match Section V-A exactly. At that scale use
+    ``jobs`` to fan the panel's (value, seed) cells out over worker
+    processes and ``cache``/``cache_dir`` to make the run resumable —
+    both preserve byte-identical output (see
+    :mod:`repro.analysis.sweep`). ``param_values``/``policies`` restrict
+    the sweep grid, e.g. for smoke tests.
     """
     spec = PANELS.get(panel)
     if spec is None:
         raise ExperimentError(f"Fig. 5 has panels 1-9, not {panel}")
     config_factory, trace_factory = _panel_factories(spec, n_slots, load)
     by_value = spec.model != "processing"
+    if cache is None and cache_dir is not None:
+        cache = SweepCache(cache_dir)
+    values = (
+        tuple(param_values) if param_values is not None else spec.param_values
+    )
+    unknown = set(values) - set(float(v) for v in spec.param_values)
+    if param_values is not None and unknown:
+        raise ExperimentError(
+            f"panel {panel} has no parameter values {sorted(unknown)}; "
+            f"grid is {spec.param_values}"
+        )
     return run_sweep(
         name=spec.experiment_id,
         param_name=spec.param_name,
-        param_values=spec.param_values,
+        param_values=values,
         config_factory=config_factory,
         trace_factory=trace_factory,
         policy_names=tuple(policies) if policies else spec.policies,
         seeds=seeds,
         by_value=by_value,
         flush_every=flush_every,
+        jobs=jobs,
+        cache=cache,
+        cache_token=(
+            panel_cache_token(spec, n_slots, load)
+            if cache is not None
+            else None
+        ),
+        progress=progress,
     )

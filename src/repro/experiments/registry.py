@@ -137,11 +137,17 @@ def run_experiment(
     *,
     n_slots: Optional[int] = None,
     seeds: Optional[List[int]] = None,
+    jobs: Optional[int] = None,
+    cache_dir=None,
+    progress=None,
 ):
     """Run an experiment by id.
 
     Returns a :class:`~repro.analysis.sweep.SweepResult` for Fig. 5 panels
     or an ``(scenario, CompetitiveResult)`` pair for theorem experiments.
+    ``jobs``, ``cache_dir``, and ``progress`` configure the parallel sweep
+    engine and apply to Fig. 5 panels only (theorem replays are single
+    deterministic traces — there is nothing to fan out or memoize).
     """
     if experiment_id.startswith("fig5-"):
         panel = _panel_number(experiment_id)
@@ -150,6 +156,12 @@ def run_experiment(
             kwargs["n_slots"] = n_slots
         if seeds is not None:
             kwargs["seeds"] = seeds
+        if jobs is not None:
+            kwargs["jobs"] = jobs
+        if cache_dir is not None:
+            kwargs["cache_dir"] = cache_dir
+        if progress is not None:
+            kwargs["progress"] = progress
         return run_panel(panel, **kwargs)
     if experiment_id == "skew":
         from repro.experiments.skewed import run_skew_sweep

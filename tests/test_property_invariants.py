@@ -1,0 +1,184 @@
+"""Property-based engine-invariant tests (hypothesis).
+
+Random traces replayed through *every registered policy* must preserve the
+model invariants of :mod:`repro.core.switch`, whatever the policy decides:
+
+* buffer occupancy never exceeds ``B`` (and internal accounting matches);
+* packet conservation — every arrival is either rejected at admission or
+  accepted, and every accepted packet is eventually transmitted, pushed
+  out, flushed, or still buffered;
+* push-out only ever evicts from a non-empty queue (the engine raises
+  :class:`~repro.core.errors.PolicyError` otherwise, so a clean run *is*
+  the property).
+
+These complement the example-based tests: hypothesis explores burst
+patterns (empty slots, floods, single-port storms) no hand-written case
+covers, and shrinks failures to minimal traces.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SwitchConfig
+from repro.core.decisions import push_out
+from repro.core.errors import PolicyError
+from repro.core.packet import Packet
+from repro.core.switch import SharedMemorySwitch
+from repro.policies import available_policies, make_policy
+
+PROCESSING_POLICIES = sorted(
+    entry.name for entry in available_policies() if "processing" in entry.models
+)
+VALUE_POLICIES = sorted(
+    entry.name for entry in available_policies() if "value" in entry.models
+)
+
+#: Shared hypothesis profile: the suite multiplies examples by ~17
+#: policies, so keep per-policy example counts modest; simulations are
+#: fast but uneven, so the default deadline would flake.
+PROPERTY_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def processing_cases(draw):
+    """A contiguous processing-model switch plus a legal random trace."""
+    k = draw(st.integers(min_value=1, max_value=5))
+    buffer_size = draw(st.integers(min_value=k, max_value=20))
+    config = SwitchConfig.contiguous(k, buffer_size)
+    n_slots = draw(st.integers(min_value=1, max_value=10))
+    slots = []
+    for slot in range(n_slots):
+        ports = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=k - 1),
+                min_size=0,
+                max_size=8,
+            )
+        )
+        slots.append(
+            [
+                Packet(
+                    port=port,
+                    work=config.work_of(port),
+                    arrival_slot=slot,
+                )
+                for port in ports
+            ]
+        )
+    flush_after = draw(
+        st.one_of(st.none(), st.integers(min_value=1, max_value=n_slots))
+    )
+    return config, slots, flush_after
+
+
+@st.composite
+def value_cases(draw):
+    """A priority-queue value-model switch plus a legal random trace."""
+    k = draw(st.integers(min_value=1, max_value=5))
+    buffer_size = draw(st.integers(min_value=k, max_value=20))
+    config = SwitchConfig.value_contiguous(k, buffer_size)
+    n_slots = draw(st.integers(min_value=1, max_value=10))
+    slots = []
+    for slot in range(n_slots):
+        arrivals = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=k - 1),
+                    st.integers(min_value=1, max_value=8),
+                ),
+                min_size=0,
+                max_size=8,
+            )
+        )
+        slots.append(
+            [
+                Packet(port=port, work=1, value=float(value), arrival_slot=slot)
+                for port, value in arrivals
+            ]
+        )
+    flush_after = draw(
+        st.one_of(st.none(), st.integers(min_value=1, max_value=n_slots))
+    )
+    return config, slots, flush_after
+
+
+def drive_and_check(config, slots, flush_after, policy_name):
+    """Replay the trace through one policy, asserting invariants per slot."""
+    switch = SharedMemorySwitch(config)
+    policy = make_policy(policy_name)
+    total_arrivals = sum(len(burst) for burst in slots)
+    for slot, burst in enumerate(slots):
+        switch.run_slot(burst, policy)
+        # Occupancy bound and internal accounting, after every slot.
+        assert 0 <= switch.occupancy <= config.buffer_size
+        switch.check_invariants()
+        if flush_after is not None and slot + 1 == flush_after:
+            switch.flush()
+            assert switch.occupancy == 0
+
+    metrics = switch.metrics
+    # Conservation at the admission boundary: every arrival was either
+    # rejected outright or accepted into the buffer.
+    assert metrics.arrived == total_arrivals
+    assert metrics.arrived == metrics.accepted + metrics.dropped
+    # Conservation inside the buffer: every accepted packet was
+    # transmitted, pushed out, flushed, or is still enqueued.
+    assert metrics.accepted == (
+        metrics.transmitted_packets
+        + metrics.pushed_out
+        + metrics.flushed
+        + switch.occupancy
+    )
+
+
+@pytest.mark.parametrize("policy_name", PROCESSING_POLICIES)
+@PROPERTY_SETTINGS
+@given(case=processing_cases())
+def test_processing_model_invariants(policy_name, case):
+    config, slots, flush_after = case
+    drive_and_check(config, slots, flush_after, policy_name)
+
+
+@pytest.mark.parametrize("policy_name", VALUE_POLICIES)
+@PROPERTY_SETTINGS
+@given(case=value_cases())
+def test_value_model_invariants(policy_name, case):
+    config, slots, flush_after = case
+    drive_and_check(config, slots, flush_after, policy_name)
+
+
+class _EmptyQueuePusher:
+    """Deliberately broken policy: pushes out from a fixed empty queue."""
+
+    name = "bad-pusher"
+    is_push_out = True
+
+    def admit(self, view, packet):
+        return push_out(victim_port=view.n_ports - 1)
+
+
+@PROPERTY_SETTINGS
+@given(case=processing_cases())
+def test_push_out_requires_nonempty_victim(case):
+    """The engine enforces the push-out contract for arbitrary traces.
+
+    The highest-numbered queue has the slowest-draining packets in the
+    contiguous configuration, but the very first push-out targets it
+    while empty — the engine must refuse rather than corrupt occupancy.
+    """
+    config, slots, _ = case
+    switch = SharedMemorySwitch(config)
+    policy = _EmptyQueuePusher()
+    first_burst = next((b for b in slots if b), None)
+    if first_burst is None:
+        return  # nothing arrives, nothing to decide
+    with pytest.raises(PolicyError):
+        for burst in slots:
+            switch.run_slot(burst, policy)
