@@ -1,0 +1,92 @@
+"""Regression gate for the fast-path simulation core.
+
+Three layers of protection, from machine-independent to absolute:
+
+1. **Head-to-head** — the indexed fast path must beat the naive O(n)
+   reference selectors on the adversarial large-``n`` panel by a wide
+   margin *on the same machine in the same process*. This catches a
+   fast path that silently degenerates to the scan, regardless of host
+   speed.
+2. **Determinism drift** — every panel's per-policy objectives must
+   equal the values recorded in the committed ``BENCH_seed.json``
+   (produced by the pre-fast-path naive engine). Any mismatch means the
+   fast path changed simulation *decisions*, not just speed.
+3. **Absolute throughput** — the small panels must stay within 25% of
+   the committed baseline rates, and the adversarial large-``n`` panel
+   must hold the 2x speedup the fast path was built for. These compare
+   against numbers recorded on the development machine; on much slower
+   hardware rerun ``repro bench --tag seed --mode naive`` to re-pin.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    PANELS,
+    compare_reports,
+    load_report,
+    run_bench,
+    run_panel_bench,
+    select_panels,
+)
+
+from conftest import run_once
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_seed.json"
+
+
+@pytest.fixture(scope="module")
+def seed_report():
+    return load_report(BASELINE_PATH)
+
+
+def test_fast_beats_naive_head_to_head(benchmark):
+    panel = PANELS["adversarial-proc-large"]
+    naive = run_panel_bench(panel, mode="naive", slots_scale=0.2)
+    fast = run_once(
+        benchmark,
+        lambda: run_panel_bench(panel, mode="fast", slots_scale=0.2),
+    )
+    benchmark.extra_info["fast_slots_per_s"] = round(fast.slots_per_s, 1)
+    benchmark.extra_info["naive_slots_per_s"] = round(naive.slots_per_s, 1)
+    # Measured ~9x on the development machine; 1.5x leaves room for noise
+    # while still catching an index that stopped being used.
+    assert fast.slots_per_s >= 1.5 * naive.slots_per_s
+
+
+def test_objectives_match_seed_recordings(seed_report):
+    # The seed report was produced by the pre-fast-path engine: equal
+    # objectives here prove the rewrite is decision-identical across
+    # engine versions, not merely self-consistent.
+    for name, base_panel in seed_report["panels"].items():
+        result = run_panel_bench(PANELS[name], mode="fast")
+        expected = {
+            t["policy"]: t["objective"] for t in base_panel["per_policy"]
+        }
+        actual = {t.policy: t.objective for t in result.timings}
+        assert actual == expected, f"objective drift on panel {name}"
+
+
+def test_no_regression_vs_seed_on_small_panels(benchmark, seed_report):
+    report = run_once(
+        benchmark,
+        lambda: run_bench(select_panels(["small"]), tag="gate", mode="fast"),
+    )
+    regressions = compare_reports(report, seed_report, max_regression=0.25)
+    assert not regressions, "; ".join(str(r) for r in regressions)
+
+
+def test_adversarial_large_holds_2x_speedup(benchmark, seed_report):
+    panel = PANELS["adversarial-proc-large"]
+    result = run_once(
+        benchmark, lambda: run_panel_bench(panel, mode="fast")
+    )
+    base = float(
+        seed_report["panels"]["adversarial-proc-large"]["slots_per_s"]
+    )
+    benchmark.extra_info["slots_per_s"] = round(result.slots_per_s, 1)
+    benchmark.extra_info["seed_slots_per_s"] = base
+    assert result.slots_per_s >= 2.0 * base

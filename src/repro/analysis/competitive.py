@@ -15,6 +15,7 @@ transient backlog cannot dominate long runs.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
@@ -36,8 +37,14 @@ class PolicySystem:
     treat every contender uniformly.
     """
 
-    def __init__(self, config: SwitchConfig, policy: AdmissionPolicy) -> None:
-        self.switch = SharedMemorySwitch(config)
+    def __init__(
+        self,
+        config: SwitchConfig,
+        policy: AdmissionPolicy,
+        *,
+        fast_path: bool = True,
+    ) -> None:
+        self.switch = SharedMemorySwitch(config, fast_path=fast_path)
         self.policy = policy
 
     @property
@@ -51,8 +58,14 @@ class PolicySystem:
     def run_slot(self, arrivals: Sequence[Packet]) -> List[Packet]:
         return self.switch.run_slot(arrivals, self.policy)
 
+    def fast_forward(self, n_slots: int) -> None:
+        self.switch.fast_forward(n_slots)
+
     def flush(self) -> int:
         return self.switch.flush()
+
+    def check_invariants(self) -> None:
+        self.switch.check_invariants()
 
 
 @dataclass(frozen=True)
@@ -82,6 +95,28 @@ class CompetitiveResult:
         )
 
 
+def invariant_check_interval() -> int:
+    """The opt-in self-check cadence from ``REPRO_CHECK_INVARIANTS``.
+
+    Unset, empty, or ``0`` disables checking (returns 0). ``1`` enables it
+    at the default cadence of every 256 slots; any larger integer is used
+    as the cadence directly. Invariant scans are O(B + n) each, which is
+    why long runs opt in at an interval instead of paying per slot.
+    """
+    raw = os.environ.get("REPRO_CHECK_INVARIANTS", "").strip()
+    if not raw:
+        return 0
+    try:
+        interval = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_CHECK_INVARIANTS must be an integer, got {raw!r}"
+        ) from None
+    if interval <= 0:
+        return 0
+    return 256 if interval == 1 else interval
+
+
 def run_system(
     system: System,
     trace: Trace,
@@ -89,17 +124,49 @@ def run_system(
     flush_every: Optional[int] = None,
     drain_slots: int = 0,
 ) -> SwitchMetrics:
-    """Replay a trace through one system, with optional flushouts/drain."""
+    """Replay a trace through one system, with optional flushouts/drain.
+
+    Stretches of slots with no arrivals while the buffer is empty are
+    fast-forwarded in one step on systems that support it (the switch is
+    a fixed point of such slots, so the replay is observably identical).
+    Setting ``REPRO_CHECK_INVARIANTS`` runs the system's self-checks
+    every K slots (see :func:`invariant_check_interval`).
+    """
     if flush_every is not None and flush_every < 1:
         raise ConfigError(f"flush_every must be >= 1, got {flush_every}")
-    for slot, arrivals in enumerate(trace):
+    check_every = invariant_check_interval()
+    if check_every and not hasattr(system, "check_invariants"):
+        check_every = 0
+    fast_forward = getattr(system, "fast_forward", None)
+
+    slots = trace.slots
+    n_slots = len(slots)
+    slot = 0
+    while slot < n_slots:
+        arrivals = slots[slot]
+        if not arrivals and fast_forward is not None and system.backlog == 0:
+            # Skip the whole idle stretch at once. Any flushouts inside
+            # it would clear an empty buffer (a metrics no-op), so
+            # jumping over their boundaries changes nothing.
+            end = slot + 1
+            while end < n_slots and not slots[end]:
+                end += 1
+            fast_forward(end - slot)
+            slot = end
+            continue
         system.run_slot(arrivals)
         if flush_every is not None and (slot + 1) % flush_every == 0:
             system.flush()
+        if check_every and (slot + 1) % check_every == 0:
+            system.check_invariants()
+        slot += 1
+
     drained = 0
     while system.backlog > 0 and drained < drain_slots:
         system.run_slot(())
         drained += 1
+        if check_every and drained % check_every == 0:
+            system.check_invariants()
     return system.metrics
 
 

@@ -27,6 +27,13 @@ paper-scale runs resume and repeated panels skip straight to assembly.
 Per-sweep throughput (cells/sec) and cache hit rate are collected in
 :class:`SweepStats` and surfaced by the CLI and
 ``repro.experiments.report``.
+
+Every cell funnels through :func:`repro.analysis.competitive.run_system`,
+so sweeps inherit its fast-path behavior: idle empty-buffer stretches are
+fast-forwarded, and setting ``REPRO_CHECK_INVARIANTS=K`` (exported to
+worker processes automatically) runs the engine's O(B + n) self-checks
+every ``K`` slots — cheap opt-in auditing for paper-scale runs without
+per-slot scans.
 """
 
 from __future__ import annotations

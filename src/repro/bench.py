@@ -1,0 +1,544 @@
+"""Tracked performance benchmarks for the simulation hot path.
+
+The ROADMAP's north star is a simulator that runs "as fast as the
+hardware allows" — which is only meaningful if speed is a *measured,
+regression-guarded* quantity. This module pins a panel of workloads that
+exercise the hot path from three directions and records raw simulation
+throughput (slots/s and arrival packets/s) to ``BENCH_<tag>.json`` files
+that live next to the correctness benchmarks:
+
+* **uniform** — memoryless Poisson traffic at moderate overload: the
+  generic regime, buffer mostly full, moderate congestion.
+* **mmpp** — the paper's Section V-A bursty on/off traffic: long idle
+  stretches (exercising the idle-slot fast path) punctuated by bursts.
+* **adversarial** — saturating bursts of ~1.5n packets every slot
+  against a small buffer, so *every* arrival lands on a full buffer and
+  the push-out victim search dominates. This is the Fig. 5 large-``n``
+  high-congestion regime where naive O(n)-per-arrival selectors turn
+  quadratic.
+
+Each workload comes in a small-``n`` and a large-``n`` flavor, and runs
+a pinned set of push-out policies over a pinned seed, so two reports are
+comparable run-to-run and machine-to-machine modulo hardware. Per-policy
+*objectives* (transmitted packets / value) are recorded alongside the
+timings: any drift between two reports' objectives means the two runs
+simulated different decisions, i.e. a determinism bug, not a perf delta.
+
+``BENCH_seed.json`` (committed) is the pre-fast-path baseline recorded
+on the naive O(n)-scan engine; :func:`compare_reports` implements the
+CI regression gate against it. See ``repro bench --help`` for the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.competitive import PolicySystem, run_system
+from repro.core.config import QueueDiscipline, SwitchConfig
+from repro.core.errors import ConfigError
+from repro.policies import make_policy
+from repro.traffic.trace import Trace
+
+#: Report schema version, bumped on incompatible layout changes.
+SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Pinned workload panels
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BenchPanel:
+    """One pinned benchmark workload: a config, a trace recipe, policies.
+
+    Panels are frozen on purpose: the value of a tracked benchmark is
+    that two reports measured *the same computation*. Scale runs up or
+    down with ``slots_scale`` (recorded in the report) rather than by
+    editing panel definitions.
+    """
+
+    name: str
+    model: str  # "processing" | "value"
+    workload: str  # "uniform" | "mmpp" | "adversarial"
+    n_ports: int
+    buffer_size: int
+    n_slots: int
+    seed: int
+    policies: Tuple[str, ...]
+    load: float = 2.0
+
+    def config(self) -> SwitchConfig:
+        if self.model == "processing":
+            return SwitchConfig.contiguous(self.n_ports, self.buffer_size)
+        return SwitchConfig.value_contiguous(self.n_ports, self.buffer_size)
+
+    def trace(self, slots_scale: float = 1.0) -> Trace:
+        n_slots = max(1, int(round(self.n_slots * slots_scale)))
+        config = self.config()
+        if self.workload == "uniform":
+            from repro.traffic.patterns import poisson_workload
+
+            return poisson_workload(
+                config, n_slots, load=self.load, seed=self.seed
+            )
+        if self.workload == "mmpp":
+            if self.model == "processing":
+                from repro.traffic.workloads import processing_workload
+
+                return processing_workload(
+                    config, n_slots, load=self.load, seed=self.seed
+                )
+            from repro.traffic.workloads import value_uniform_workload
+
+            return value_uniform_workload(
+                config, n_slots, 16, load=self.load, seed=self.seed
+            )
+        if self.workload == "adversarial":
+            return saturating_workload(config, n_slots, seed=self.seed)
+        raise ConfigError(f"unknown bench workload {self.workload!r}")
+
+    def spec(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "workload": self.workload,
+            "n_ports": self.n_ports,
+            "buffer_size": self.buffer_size,
+            "n_slots": self.n_slots,
+            "seed": self.seed,
+            "load": self.load,
+            "policies": list(self.policies),
+        }
+
+
+def saturating_workload(
+    config: SwitchConfig, n_slots: int, *, seed: int = 0
+) -> Trace:
+    """Adversarial congestion: ~1.5n uniformly-addressed packets per slot.
+
+    Offered load is far above any service rate, so after a couple of
+    slots the buffer is permanently full and every single arrival goes
+    through the policy's congested-path victim search. Value-model
+    packets draw small integer values so exact value ties (the hard
+    tie-breaking cases) occur constantly.
+    """
+    if n_slots < 1:
+        raise ConfigError(f"need >= 1 slot, got {n_slots}")
+    rng = np.random.default_rng(seed)
+    n = config.n_ports
+    per_slot = max(2, (3 * n) // 2)
+    works = config.works
+    values = config.values
+    by_value = config.discipline is QueueDiscipline.PRIORITY
+    from repro.core.packet import Packet
+
+    trace = Trace()
+    for slot in range(n_slots):
+        ports = rng.integers(0, n, size=per_slot)
+        if by_value:
+            vals = rng.integers(1, 17, size=per_slot)
+            burst = [
+                Packet(port=int(p), work=1, value=float(v), arrival_slot=slot)
+                for p, v in zip(ports, vals)
+            ]
+        else:
+            burst = [
+                Packet(
+                    port=int(p),
+                    work=works[int(p)],
+                    value=values[int(p)],
+                    arrival_slot=slot,
+                )
+                for p in ports
+            ]
+        trace.append_slot(burst)
+    return trace
+
+
+_PROC_POLICIES = ("LQD", "LWD", "BPD")
+_VALUE_POLICIES = ("LQD-V", "MVD", "MRD")
+
+#: The pinned panel set. Names are stable identifiers used by reports,
+#: the CLI, and the CI regression gate.
+PANELS: Dict[str, BenchPanel] = {
+    panel.name: panel
+    for panel in (
+        BenchPanel(
+            name="uniform-proc-small",
+            model="processing",
+            workload="uniform",
+            n_ports=8,
+            buffer_size=64,
+            n_slots=2000,
+            seed=11,
+            policies=_PROC_POLICIES,
+            load=1.4,
+        ),
+        BenchPanel(
+            name="uniform-proc-large",
+            model="processing",
+            workload="uniform",
+            n_ports=96,
+            buffer_size=384,
+            n_slots=300,
+            seed=11,
+            policies=_PROC_POLICIES,
+            load=1.4,
+        ),
+        BenchPanel(
+            name="mmpp-proc-small",
+            model="processing",
+            workload="mmpp",
+            n_ports=8,
+            buffer_size=64,
+            n_slots=2000,
+            seed=12,
+            policies=_PROC_POLICIES,
+            load=2.0,
+        ),
+        BenchPanel(
+            name="mmpp-proc-large",
+            model="processing",
+            workload="mmpp",
+            n_ports=96,
+            buffer_size=384,
+            n_slots=300,
+            seed=12,
+            policies=_PROC_POLICIES,
+            load=2.0,
+        ),
+        BenchPanel(
+            name="adversarial-proc-small",
+            model="processing",
+            workload="adversarial",
+            n_ports=8,
+            buffer_size=32,
+            n_slots=1500,
+            seed=13,
+            policies=_PROC_POLICIES,
+        ),
+        BenchPanel(
+            name="adversarial-proc-large",
+            model="processing",
+            workload="adversarial",
+            n_ports=96,
+            buffer_size=192,
+            n_slots=250,
+            seed=13,
+            policies=_PROC_POLICIES,
+        ),
+        BenchPanel(
+            name="adversarial-value-small",
+            model="value",
+            workload="adversarial",
+            n_ports=8,
+            buffer_size=32,
+            n_slots=1500,
+            seed=14,
+            policies=_VALUE_POLICIES,
+        ),
+        BenchPanel(
+            name="adversarial-value-large",
+            model="value",
+            workload="adversarial",
+            n_ports=96,
+            buffer_size=192,
+            n_slots=250,
+            seed=14,
+            policies=_VALUE_POLICIES,
+        ),
+    )
+}
+
+
+def select_panels(selector: Sequence[str]) -> List[BenchPanel]:
+    """Resolve CLI panel selectors: names, ``small``, ``large``, ``all``."""
+    if not selector:
+        selector = ["all"]
+    chosen: Dict[str, BenchPanel] = {}
+    for item in selector:
+        if item == "all":
+            chosen.update(PANELS)
+        elif item in ("small", "large"):
+            chosen.update(
+                (name, panel)
+                for name, panel in PANELS.items()
+                if name.endswith(f"-{item}")
+            )
+        elif item in PANELS:
+            chosen[item] = PANELS[item]
+        else:
+            known = ", ".join(list(PANELS) + ["small", "large", "all"])
+            raise ConfigError(f"unknown bench panel {item!r}; known: {known}")
+    return list(chosen.values())
+
+
+# ----------------------------------------------------------------------
+# Measurement
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PolicyTiming:
+    """Throughput of one policy over one panel's trace."""
+
+    policy: str
+    elapsed_s: float
+    n_slots: int
+    n_packets: int
+    objective: float
+
+    @property
+    def slots_per_s(self) -> float:
+        return self.n_slots / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def packets_per_s(self) -> float:
+        return self.n_packets / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "slots_per_s": round(self.slots_per_s, 2),
+            "packets_per_s": round(self.packets_per_s, 2),
+            "objective": self.objective,
+        }
+
+
+@dataclass
+class PanelResult:
+    """All policy timings of one panel plus aggregates."""
+
+    panel: BenchPanel
+    timings: List[PolicyTiming] = field(default_factory=list)
+    total_packets: int = 0
+
+    @property
+    def elapsed_s(self) -> float:
+        return sum(t.elapsed_s for t in self.timings)
+
+    @property
+    def slots_per_s(self) -> float:
+        """Aggregate throughput: simulated slots over wall-clock, summed
+        across policy runs (the regression-gate headline number)."""
+        elapsed = self.elapsed_s
+        total_slots = sum(t.n_slots for t in self.timings)
+        return total_slots / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def packets_per_s(self) -> float:
+        elapsed = self.elapsed_s
+        total = sum(t.n_packets for t in self.timings)
+        return total / elapsed if elapsed > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.panel.spec(),
+            "total_packets": self.total_packets,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "slots_per_s": round(self.slots_per_s, 2),
+            "packets_per_s": round(self.packets_per_s, 2),
+            "per_policy": [t.as_dict() for t in self.timings],
+        }
+
+
+def _environment() -> Dict[str, object]:
+    import repro
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": __import__("os").cpu_count(),
+        "numpy": np.__version__,
+        "repro_version": getattr(repro, "__version__", "unknown"),
+        "argv": sys.argv[1:],
+    }
+
+
+def run_panel_bench(
+    panel: BenchPanel,
+    *,
+    mode: str = "fast",
+    slots_scale: float = 1.0,
+) -> PanelResult:
+    """Time every pinned policy of one panel over its pinned trace.
+
+    Trace generation is excluded from the timed region; the timer wraps
+    exactly the slot loop (:func:`repro.analysis.competitive.run_system`)
+    — the quantity the fast-path work optimizes.
+    """
+    trace = panel.trace(slots_scale)
+    config = panel.config()
+    by_value = config.discipline is QueueDiscipline.PRIORITY
+    result = PanelResult(panel=panel, total_packets=trace.total_packets)
+    for policy_name in panel.policies:
+        policy = make_policy(policy_name)
+        system = _make_system(config, policy, mode)
+        started = time.perf_counter()
+        metrics = run_system(system, trace)
+        elapsed = time.perf_counter() - started
+        result.timings.append(
+            PolicyTiming(
+                policy=policy_name,
+                elapsed_s=elapsed,
+                n_slots=trace.n_slots,
+                n_packets=trace.total_packets,
+                objective=metrics.objective(by_value),
+            )
+        )
+    return result
+
+
+def _make_system(config: SwitchConfig, policy, mode: str) -> PolicySystem:
+    """Build the simulated system in ``fast`` or ``naive`` selector mode.
+
+    ``naive`` keeps the O(n)-scan reference selectors; on engines that
+    predate the fast path (the seed baseline) the keyword does not exist
+    and the only mode is the naive one.
+    """
+    if mode not in ("fast", "naive"):
+        raise ConfigError(f"bench mode must be fast|naive, got {mode!r}")
+    try:
+        return PolicySystem(config, policy, fast_path=(mode == "fast"))
+    except TypeError:
+        return PolicySystem(config, policy)
+
+
+def run_bench(
+    panels: Sequence[BenchPanel],
+    *,
+    tag: str = "local",
+    mode: str = "fast",
+    slots_scale: float = 1.0,
+    progress=None,
+) -> Dict[str, object]:
+    """Run panels and assemble the ``BENCH_<tag>.json`` report dict."""
+    report: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "tag": tag,
+        "mode": mode,
+        "slots_scale": slots_scale,
+        "created": datetime.now(timezone.utc).isoformat(),
+        "environment": _environment(),
+        "panels": {},
+    }
+    for panel in panels:
+        result = run_panel_bench(panel, mode=mode, slots_scale=slots_scale)
+        report["panels"][panel.name] = result.as_dict()
+        if progress is not None:
+            progress(
+                f"{panel.name}: {result.slots_per_s:.1f} slots/s, "
+                f"{result.packets_per_s:.1f} packets/s "
+                f"({result.elapsed_s:.2f}s)"
+            )
+    return report
+
+
+def write_report(report: Mapping[str, object], out_dir: Path | str) -> Path:
+    """Write the report as ``<out_dir>/BENCH_<tag>.json``; returns path."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{report['tag']}.json"
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def load_report(path: Path | str) -> Dict[str, object]:
+    with Path(path).open("r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("schema") != SCHEMA_VERSION:
+        raise ConfigError(
+            f"bench report {path} has schema {report.get('schema')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One panel whose throughput fell below the allowed fraction."""
+
+    panel: str
+    current: float
+    baseline: float
+    allowed: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.panel}: {self.current:.1f} slots/s < "
+            f"{self.allowed:.1f} allowed "
+            f"(baseline {self.baseline:.1f}, "
+            f"{self.current / self.baseline:.2f}x)"
+        )
+
+
+def compare_reports(
+    current: Mapping[str, object],
+    baseline: Mapping[str, object],
+    *,
+    max_regression: float = 0.25,
+) -> List[Regression]:
+    """Panels in ``current`` slower than ``(1 - max_regression) x`` baseline.
+
+    Only panels present in both reports are compared, on the aggregate
+    ``slots_per_s``; normalizes away ``slots_scale`` differences (slots/s
+    is already a rate, so no normalization is actually needed — scaling a
+    run changes duration, not throughput).
+    """
+    if not 0 <= max_regression < 1:
+        raise ConfigError(
+            f"max_regression must be in [0, 1), got {max_regression}"
+        )
+    regressions: List[Regression] = []
+    base_panels: Mapping[str, Mapping] = baseline.get("panels", {})
+    for name, panel in current.get("panels", {}).items():
+        base = base_panels.get(name)
+        if base is None:
+            continue
+        base_rate = float(base["slots_per_s"])
+        rate = float(panel["slots_per_s"])
+        allowed = (1.0 - max_regression) * base_rate
+        if rate < allowed:
+            regressions.append(
+                Regression(
+                    panel=name,
+                    current=rate,
+                    baseline=base_rate,
+                    allowed=allowed,
+                )
+            )
+    return regressions
+
+
+def format_report(report: Mapping[str, object]) -> str:
+    """Human-readable table of one report (CLI output)."""
+    lines = [
+        f"# bench tag={report['tag']} mode={report['mode']} "
+        f"scale={report['slots_scale']}",
+        f"{'panel':26s} {'slots/s':>12s} {'packets/s':>14s} {'time':>8s}",
+    ]
+    for name, panel in report["panels"].items():
+        lines.append(
+            f"{name:26s} {panel['slots_per_s']:12.1f} "
+            f"{panel['packets_per_s']:14.1f} {panel['elapsed_s']:7.2f}s"
+        )
+    return "\n".join(lines)

@@ -11,6 +11,9 @@ Subcommands
     a theorem validation (prints measured vs. predicted ratio).
 ``scenario THM``
     Run an adversarial construction with custom ``--k/--buffer`` sizes.
+``bench``
+    Run the pinned performance panels, write ``BENCH_<tag>.json``, and
+    optionally gate against a baseline report.
 """
 
 from __future__ import annotations
@@ -167,6 +170,57 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run pinned perf panels; write and optionally gate a report."""
+    from repro.bench import (
+        PANELS,
+        compare_reports,
+        format_report,
+        load_report,
+        run_bench,
+        select_panels,
+        write_report,
+    )
+
+    if args.list:
+        for name, panel in PANELS.items():
+            print(
+                f"{name:26s} {panel.model:10s} {panel.workload:11s} "
+                f"n={panel.n_ports:<3d} B={panel.buffer_size:<4d} "
+                f"slots={panel.n_slots}"
+            )
+        return 0
+
+    panels = select_panels(args.panels)
+    report = run_bench(
+        panels,
+        tag=args.tag,
+        mode=args.mode,
+        slots_scale=args.slots_scale,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    print(format_report(report))
+    path = write_report(report, args.out_dir)
+    print(f"# wrote {path}")
+
+    if args.baseline:
+        baseline = load_report(args.baseline)
+        regressions = compare_reports(
+            report, baseline, max_regression=args.max_regression
+        )
+        if regressions:
+            print(
+                f"# REGRESSION vs {args.baseline} "
+                f"(>{args.max_regression:.0%} slower):",
+                file=sys.stderr,
+            )
+            for regression in regressions:
+                print(f"#   {regression}", file=sys.stderr)
+            return 1
+        print(f"# no regression vs {args.baseline}")
+    return 0
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     builder = ALL_SCENARIOS.get(args.theorem)
     if builder is None:
@@ -279,6 +333,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_sweep_engine_flags(report_parser)
     report_parser.set_defaults(func=_cmd_report)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="run pinned performance panels and write BENCH_<tag>.json",
+    )
+    bench_parser.add_argument(
+        "--tag", default="local",
+        help="report tag; output file is BENCH_<tag>.json (default local)",
+    )
+    bench_parser.add_argument(
+        "--out-dir", default="benchmarks",
+        help="directory for the report (default benchmarks/)",
+    )
+    bench_parser.add_argument(
+        "--panels", nargs="*", default=None,
+        help="panel names, or small / large / all (default all)",
+    )
+    bench_parser.add_argument(
+        "--mode", choices=("fast", "naive"), default="fast",
+        help="victim-selector implementation to time (default fast)",
+    )
+    bench_parser.add_argument(
+        "--slots-scale", type=float, default=1.0,
+        help="multiply every panel's slot count (recorded in the report)",
+    )
+    bench_parser.add_argument(
+        "--baseline", default=None,
+        help="gate against this BENCH_*.json; exit 1 on regression",
+    )
+    bench_parser.add_argument(
+        "--max-regression", type=float, default=0.25,
+        help="allowed fractional slots/s drop vs baseline (default 0.25)",
+    )
+    bench_parser.add_argument(
+        "--list", action="store_true",
+        help="list the pinned panels and exit",
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -1,5 +1,6 @@
 """Core model: packets, queues, configuration, and the switch engine."""
 
+from repro.core.aggregates import AggregateIndex, Ordering
 from repro.core.config import PortSpec, QueueDiscipline, SwitchConfig
 from repro.core.decisions import ACCEPT, DROP, Action, Decision, push_out
 from repro.core.errors import (
@@ -16,9 +17,11 @@ from repro.core.switch import AdmissionPolicy, SharedMemorySwitch, SwitchView
 
 __all__ = [
     "ACCEPT",
+    "AggregateIndex",
     "DROP",
     "Action",
     "AdmissionPolicy",
+    "Ordering",
     "ConfigError",
     "Decision",
     "ExperimentError",

@@ -104,6 +104,15 @@ class SwitchMetrics:
         self.occupancy_integral += occupancy
         self.occupancy_peak = max(self.occupancy_peak, occupancy)
 
+    def record_idle_slots(self, n: int) -> None:
+        """Account for ``n`` consecutive empty-buffer slots in one step.
+
+        Equivalent to ``n`` calls of ``record_slot(0)``: the occupancy
+        integral gains zero and the peak cannot move, so only the slot
+        counter advances. Used by the trace driver's slot fast-forwarding.
+        """
+        self.slots_elapsed += n
+
     # -- derived ----------------------------------------------------------
 
     @property

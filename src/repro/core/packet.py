@@ -25,7 +25,7 @@ tags verbatim.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from itertools import count
 from typing import Optional
 
@@ -91,8 +91,20 @@ class Packet:
         a trace template may arrive many times (repeated adversarial
         rounds), and per-packet instrumentation such as the Theorem 7
         mapping checker must be able to tell the admissions apart.
+
+        The copy skips ``__init__``/``__post_init__`` re-validation: the
+        template already passed it, and this runs once per admitted
+        packet on the simulation hot path.
         """
-        return replace(self, residual=self.work, seq=next(_PACKET_SEQ))
+        clone = object.__new__(Packet)
+        clone.port = self.port
+        clone.work = self.work
+        clone.value = self.value
+        clone.arrival_slot = self.arrival_slot
+        clone.opt_accept = self.opt_accept
+        clone.seq = next(_PACKET_SEQ)
+        clone.residual = self.work
+        return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         tag = "" if self.opt_accept is None else f" opt={self.opt_accept}"

@@ -23,6 +23,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from bisect import bisect_left
 from collections import deque
+from itertools import islice
 from typing import Iterator, List
 
 from repro.core.errors import PolicyError, TraceError
@@ -149,8 +150,8 @@ class FifoQueue(OutputQueue):
         if cores < 1:
             raise PolicyError(f"process() needs cores >= 1, got {cores}")
         active = min(cores, len(self._items))
-        for idx in range(active):
-            self._items[idx].residual -= 1
+        for packet in islice(self._items, active):
+            packet.residual -= 1
         self._total_work -= active
         done: List[Packet] = []
         while self._items and self._items[0].residual == 0:

@@ -20,12 +20,34 @@ The engine enforces model invariants — buffer occupancy never exceeds
 frees space — and raises :class:`~repro.core.errors.PolicyError` when a
 policy violates the contract, rather than silently producing wrong
 competitive ratios.
+
+Fast path
+---------
+The switch maintains two acceleration structures, both invisible at the
+model level (simulation output is decision-for-decision identical with
+them on or off):
+
+* an **active set** — the sorted list of non-empty ports. The
+  transmission phase walks only active queues, so a large-``n`` switch
+  with a handful of busy ports pays for the busy ports, not for ``n``.
+* an :class:`~repro.core.aggregates.AggregateIndex` of incremental
+  per-port aggregate orderings, which turns the push-out policies'
+  O(n) victim rescans into O(log n) top-of-ordering reads. Constructing
+  the switch with ``fast_path=False`` omits the index; policies then
+  fall back to their naive :class:`SwitchView`-only reference scans —
+  the configuration the differential test suite compares against.
+
+Every queue mutation funnels through :meth:`SharedMemorySwitch.
+_queue_changed`, which updates the active set, invalidates the cached
+read views handed to policies, and notifies the index.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Protocol, Sequence
+from bisect import bisect_left, insort
+from typing import Iterable, List, Optional, Protocol, Sequence, Tuple
 
+from repro.core.aggregates import AggregateIndex
 from repro.core.config import QueueDiscipline, SwitchConfig
 from repro.core.decisions import Action, Decision
 from repro.core.errors import PolicyError, TraceError
@@ -39,7 +61,10 @@ class SwitchView:
 
     Policies must base decisions only on observable state: queue contents,
     occupancy, and the static configuration. The view exposes exactly
-    that — it holds the switch privately and forwards queries.
+    that — it holds the switch privately and forwards queries. On
+    fast-path switches it additionally exposes the aggregate index
+    (:attr:`index`); policies treat it as an accelerated way to read the
+    same observable state.
     """
 
     __slots__ = ("_switch",)
@@ -71,6 +96,20 @@ class SwitchView:
     def free_space(self) -> int:
         return self._switch.config.buffer_size - self._switch.occupancy
 
+    @property
+    def index(self) -> Optional[AggregateIndex]:
+        """The switch's aggregate index, or ``None`` on naive switches."""
+        return self._switch.index
+
+    def _queue(self, port: int) -> OutputQueue:
+        """The queue at ``port``; :class:`PolicyError` when out of range."""
+        queues = self._switch.queues
+        if not 0 <= port < len(queues):
+            raise PolicyError(
+                f"port {port} out of range 0..{len(queues) - 1}"
+            )
+        return queues[port]
+
     def queue_len(self, port: int) -> int:
         return len(self._switch.queues[port])
 
@@ -88,25 +127,57 @@ class SwitchView:
     def min_value(self, port: int) -> float:
         return self._switch.queues[port].min_value
 
+    def peek_tail(self, port: int) -> Packet:
+        """The packet a push-out at ``port`` would evict.
+
+        Raises :class:`PolicyError` naming the port when the queue is
+        empty or the port is out of range (never a bare ``IndexError``).
+        """
+        queue = self._queue(port)
+        if len(queue) == 0:
+            raise PolicyError(f"peek_tail of empty queue {port}")
+        return queue.peek_tail()
+
     def tail_value(self, port: int) -> float:
         """Value of the packet a push-out at ``port`` would evict."""
-        return self._switch.queues[port].peek_tail().value
+        return self.peek_tail(port).value
 
     def work_of(self, port: int) -> int:
         return self._switch.config.work_of(port)
 
-    def nonempty_ports(self) -> List[int]:
-        return [
-            q.port for q in self._switch.queues if len(q) > 0
-        ]
+    def nonempty_ports(self) -> Tuple[int, ...]:
+        """Ports with at least one buffered packet, ascending.
 
-    def queue_packets(self, port: int) -> List[Packet]:
-        """Snapshot of queue contents head-to-tail (tests and debugging)."""
-        return list(self._switch.queues[port])
+        Returns a cached tuple view maintained by the switch's
+        change-notification hooks — O(1) on the hot path instead of an
+        O(n) scan-and-allocate per call.
+        """
+        switch = self._switch
+        cached = switch._nonempty_cache
+        if cached is None:
+            cached = switch._nonempty_cache = tuple(switch._active_ports)
+        return cached
+
+    def queue_packets(self, port: int) -> Tuple[Packet, ...]:
+        """Snapshot of queue contents head-to-tail (tests and debugging).
+
+        The tuple is cached until the queue next changes; packets are the
+        live objects, so residuals reflect processing as they always did.
+        """
+        switch = self._switch
+        cached = switch._packets_cache[port]
+        if cached is None:
+            cached = tuple(switch.queues[port])
+            switch._packets_cache[port] = cached
+        return cached
 
     def buffer_min_value(self) -> Optional[float]:
         """The minimal value over all buffered packets, or ``None`` when
         the buffer is empty. Used by MVD/MRD admission tests."""
+        index = self._switch.index
+        if index is not None:
+            top = index.ordering("min_value").best()
+            return None if top is None else -top[0]
         best: Optional[float] = None
         for queue in self._switch.queues:
             if len(queue) == 0:
@@ -134,9 +205,14 @@ class SharedMemorySwitch:
     metrics) and mechanics (arrival application, transmission), while all
     admission intelligence lives in the policy object passed to
     :meth:`arrival_phase` / :meth:`run_slot`.
+
+    ``fast_path`` controls the aggregate index behind indexed victim
+    selection. ``False`` builds a reference switch on which policies use
+    their naive O(n) scans; simulation output is identical either way
+    (the differential suite enforces this).
     """
 
-    def __init__(self, config: SwitchConfig) -> None:
+    def __init__(self, config: SwitchConfig, *, fast_path: bool = True) -> None:
         self.config = config
         queue_cls = (
             FifoQueue
@@ -150,6 +226,47 @@ class SharedMemorySwitch:
         self.metrics = SwitchMetrics(n_ports=config.n_ports)
         self.view = SwitchView(self)
         self.current_slot = 0
+        self.fast_path = fast_path
+        self.index: Optional[AggregateIndex] = (
+            AggregateIndex(self.queues, config.works) if fast_path else None
+        )
+        # Acceleration state, maintained by _queue_changed: the sorted
+        # active (non-empty) port list, and the cached read views.
+        self._active_ports: List[int] = []
+        self._is_active: List[bool] = [False] * config.n_ports
+        self._nonempty_cache: Optional[Tuple[int, ...]] = None
+        self._packets_cache: List[Optional[Tuple[Packet, ...]]] = (
+            [None] * config.n_ports
+        )
+
+    # ------------------------------------------------------------------
+    # Change notification (the single funnel for queue mutations)
+    # ------------------------------------------------------------------
+
+    def _queue_changed(self, port: int) -> None:
+        """Refresh acceleration state after ``queues[port]`` mutated."""
+        nonempty = len(self.queues[port]) > 0
+        if nonempty != self._is_active[port]:
+            self._is_active[port] = nonempty
+            if nonempty:
+                insort(self._active_ports, port)
+            else:
+                del self._active_ports[bisect_left(self._active_ports, port)]
+            self._nonempty_cache = None
+        self._packets_cache[port] = None
+        if self.index is not None:
+            self.index.update(port)
+
+    def _reset_runtime_state(self) -> None:
+        """Rebuild acceleration state from scratch (after a flush)."""
+        self._active_ports = [
+            q.port for q in self.queues if len(q) > 0
+        ]
+        self._is_active = [len(q) > 0 for q in self.queues]
+        self._nonempty_cache = None
+        self._packets_cache = [None] * self.config.n_ports
+        if self.index is not None:
+            self.index.rebuild()
 
     # ------------------------------------------------------------------
     # Arrival phase
@@ -194,6 +311,7 @@ class SharedMemorySwitch:
                 )
             victim = victim_queue.drop_tail()
             self.occupancy -= 1
+            self._queue_changed(victim_port)
             self.metrics.record_push_out(victim)
             # Fall through to accept the arriving packet.
 
@@ -205,6 +323,7 @@ class SharedMemorySwitch:
         admitted = packet.fresh_copy()
         self.queues[packet.port].admit(admitted)
         self.occupancy += 1
+        self._queue_changed(packet.port)
         self.metrics.record_accept(admitted)
 
     def _validate_arrival(self, packet: Packet) -> None:
@@ -228,15 +347,22 @@ class SharedMemorySwitch:
     # ------------------------------------------------------------------
 
     def transmission_phase(self) -> List[Packet]:
-        """Process every non-empty queue once and collect transmissions."""
+        """Process every non-empty queue once and collect transmissions.
+
+        Walks the active set (ascending port order — the same service
+        order as scanning all queues) so idle ports cost nothing.
+        """
         transmitted: List[Packet] = []
-        for queue in self.queues:
-            if len(queue) == 0:
-                continue
-            done = queue.process(self.config.speedup)
-            if done:
-                self.occupancy -= len(done)
-                transmitted.extend(done)
+        if self._active_ports:
+            speedup = self.config.speedup
+            queues = self.queues
+            # Snapshot: process() may empty a queue and shrink the set.
+            for port in tuple(self._active_ports):
+                done = queues[port].process(speedup)
+                if done:
+                    self.occupancy -= len(done)
+                    transmitted.extend(done)
+                self._queue_changed(port)
         self.metrics.record_transmissions(transmitted, slot=self.current_slot)
         return transmitted
 
@@ -254,6 +380,25 @@ class SharedMemorySwitch:
         self.current_slot += 1
         return transmitted
 
+    def fast_forward(self, n_slots: int) -> None:
+        """Advance over ``n_slots`` idle slots without simulating them.
+
+        Valid only while the buffer is empty: an empty switch with no
+        arrivals is a fixed point of :meth:`run_slot`, so the only
+        observable effects of those slots are the clock and the per-slot
+        metrics counters — both applied here in one step, byte-identical
+        to running the slots one by one.
+        """
+        if n_slots < 0:
+            raise TraceError(f"cannot fast-forward {n_slots} slots")
+        if self.occupancy != 0:
+            raise PolicyError(
+                "fast_forward requires an empty buffer "
+                f"(occupancy={self.occupancy})"
+            )
+        self.metrics.record_idle_slots(n_slots)
+        self.current_slot += n_slots
+
     def flush(self) -> int:
         """Clear all queues without transmission credit; returns the count.
 
@@ -263,6 +408,7 @@ class SharedMemorySwitch:
         for queue in self.queues:
             dropped.extend(queue.clear())
         self.occupancy = 0
+        self._reset_runtime_state()
         self.metrics.record_flush(dropped)
         return len(dropped)
 
@@ -273,8 +419,10 @@ class SharedMemorySwitch:
     def check_invariants(self) -> None:
         """Raise ``AssertionError`` if internal accounting is inconsistent.
 
-        Called liberally by the test suite; cheap enough to sprinkle into
-        long-running experiments when debugging.
+        Called liberally by the test suite. Long simulations can opt in
+        periodically via ``REPRO_CHECK_INVARIANTS`` (see
+        :func:`repro.analysis.competitive.run_system`) — the scan is
+        O(B + n), which is why it is not run per slot by default.
         """
         total = sum(len(q) for q in self.queues)
         assert total == self.occupancy, (
@@ -291,6 +439,18 @@ class SharedMemorySwitch:
             assert abs(expect_value - queue.total_value) < 1e-9
             for packet in queue:
                 assert packet.residual >= 1
+        # Acceleration state mirrors the queues exactly.
+        expect_active = [q.port for q in self.queues if len(q) > 0]
+        assert self._active_ports == expect_active, (
+            f"active set {self._active_ports} != {expect_active}"
+        )
+        assert self._is_active == [len(q) > 0 for q in self.queues]
+        if self._nonempty_cache is not None:
+            assert list(self._nonempty_cache) == expect_active
+        for port, cached in enumerate(self._packets_cache):
+            assert cached is None or list(cached) == list(self.queues[port])
+        if self.index is not None:
+            self.index.check()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         lens = ",".join(str(len(q)) for q in self.queues)

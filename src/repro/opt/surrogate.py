@@ -88,6 +88,14 @@ class _SinglePQSurrogate:
         self.metrics.record_slot(len(self._items))
         return done
 
+    def fast_forward(self, n_slots: int) -> None:
+        """Advance over ``n_slots`` idle slots (empty buffer required)."""
+        if self._items:
+            raise TraceError(
+                f"fast_forward with {len(self._items)} buffered packets"
+            )
+        self.metrics.record_idle_slots(n_slots)
+
     # Variant hooks -----------------------------------------------------
 
     def _admit(self, packet: Packet) -> None:

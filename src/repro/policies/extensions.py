@@ -95,22 +95,32 @@ class LWD1(LWD):
 
     def congested(self, view: SwitchView, packet: Packet) -> Decision:
         own_virtual = view.total_work(packet.port) + view.work_of(packet.port)
+        best_key = self._heaviest_multi_packet_queue(view, packet.port)
+        if best_key is None:
+            return DROP  # no multi-packet queue to raid
+        if best_key[0] < own_virtual:
+            # Every eligible victim carries less work than the arrival's
+            # own queue would: plain LWD would drop here too (j* == i).
+            return DROP
+        return push_out(best_key[-1])
+
+    @staticmethod
+    def _heaviest_multi_packet_queue(
+        view: SwitchView, own_port: int
+    ) -> Optional[Tuple[int, int, int]]:
+        """Max ``(W_j, w_j, j)`` over queues with ``j != own_port`` and
+        at least two packets, or ``None`` when no queue qualifies."""
+        index = view.index
+        if index is not None:
+            return index.ordering("work", 2).best_excluding(own_port)
         best_key: Optional[Tuple[int, int, int]] = None
-        best_port: Optional[int] = None
         for port in range(view.n_ports):
-            if port == packet.port or view.queue_len(port) < 2:
+            if port == own_port or view.queue_len(port) < 2:
                 continue
             key = (view.total_work(port), view.work_of(port), port)
             if best_key is None or key > best_key:
                 best_key = key
-                best_port = port
-        if best_port is None:
-            return DROP  # no multi-packet queue to raid
-        if best_key is not None and best_key[0] < own_virtual:
-            # Every eligible victim carries less work than the arrival's
-            # own queue would: plain LWD would drop here too (j* == i).
-            return DROP
-        return push_out(best_port)
+        return best_key
 
 
 class MRD1(MRD):
@@ -126,6 +136,17 @@ class MRD1(MRD):
         buffer_min = view.buffer_min_value()
         if buffer_min is None or buffer_min >= packet.value:
             return DROP
+        best_port = self._max_ratio_multi_packet_queue(view)
+        if best_port is None:
+            return DROP
+        return push_out(best_port)
+
+    @staticmethod
+    def _max_ratio_multi_packet_queue(view: SwitchView) -> Optional[int]:
+        index = view.index
+        if index is not None:
+            top = index.ordering("ratio", 2).best()
+            return None if top is None else top[-1]
         best_key: Optional[Tuple[float, float, int]] = None
         best_port: Optional[int] = None
         for port in range(view.n_ports):
@@ -136,9 +157,7 @@ class MRD1(MRD):
             if best_key is None or key > best_key:
                 best_key = key
                 best_port = port
-        if best_port is None:
-            return DROP
-        return push_out(best_port)
+        return best_port
 
 
 class RandomPushOut(PushOutPolicy):

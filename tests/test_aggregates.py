@@ -1,0 +1,183 @@
+"""Unit tests for the incremental aggregate orderings (fast path)."""
+
+import pytest
+
+from repro.core.aggregates import KEY_FNS, AggregateIndex, Ordering
+from repro.core.config import SwitchConfig
+from repro.core.errors import ConfigError, PolicyError
+from repro.core.packet import Packet
+from repro.core.queues import FifoQueue, ValuePriorityQueue
+from repro.core.switch import SharedMemorySwitch
+
+from conftest import AcceptAll, pkt
+
+
+def _fifo_queues(n):
+    return [FifoQueue(port) for port in range(n)]
+
+
+def _admit(queue, work=1, value=1.0):
+    queue.admit(Packet(port=queue.port, work=work, value=value).fresh_copy())
+
+
+class TestOrdering:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="unknown ordering"):
+            Ordering("bogus", 1, _fifo_queues(2), (1, 1))
+
+    def test_min_len_validated(self):
+        with pytest.raises(ConfigError, match="min_len"):
+            Ordering("length", 0, _fifo_queues(2), (1, 1))
+
+    def test_tracks_inserts_and_removals(self):
+        queues = _fifo_queues(3)
+        ordering = Ordering("length", 1, queues, (1, 2, 3))
+        assert ordering.best() is None
+        _admit(queues[1])
+        ordering.update(1)
+        assert ordering.best() == (1, 2, 1)
+        _admit(queues[2])
+        _admit(queues[2])
+        ordering.update(2)
+        assert ordering.best() == (2, 3, 2)
+        queues[2].drop_tail()
+        ordering.update(2)
+        # Lengths tie at 1; key falls back to work then port.
+        assert ordering.best() == (1, 3, 2)
+        ordering.check()
+
+    def test_min_len_two_excludes_singletons(self):
+        queues = _fifo_queues(2)
+        ordering = Ordering("length", 2, queues, (1, 2))
+        _admit(queues[0])
+        ordering.update(0)
+        assert ordering.best() is None
+        _admit(queues[0])
+        ordering.update(0)
+        assert ordering.best() == (2, 1, 0)
+        assert len(ordering) == 1
+
+    def test_best_excluding(self):
+        queues = _fifo_queues(3)
+        ordering = Ordering("length", 1, queues, (1, 2, 3))
+        _admit(queues[0])
+        _admit(queues[2])
+        ordering.update(0)
+        ordering.update(2)
+        assert ordering.best() == (1, 3, 2)
+        assert ordering.best_excluding(2) == (1, 1, 0)
+        assert ordering.best_excluding(0) == (1, 3, 2)
+        queues[0].drop_tail()
+        ordering.update(0)
+        assert ordering.best_excluding(2) is None
+
+    def test_rebuild_matches_incremental(self):
+        queues = _fifo_queues(4)
+        incremental = Ordering("work", 1, queues, (1, 2, 3, 4))
+        for port, count in ((0, 3), (2, 1), (3, 2)):
+            for _ in range(count):
+                _admit(queues[port], work=port + 1)
+            incremental.update(port)
+        fresh = Ordering("work", 1, queues, (1, 2, 3, 4))
+        assert incremental.best() == fresh.best()
+        incremental.check()
+
+    def test_check_detects_staleness(self):
+        queues = _fifo_queues(2)
+        ordering = Ordering("length", 1, queues, (1, 1))
+        _admit(queues[0])
+        # The owner forgot to call update(0): check must catch it.
+        with pytest.raises(AssertionError, match="stale"):
+            ordering.check()
+
+    def test_min_value_ordering_is_negated_minimum(self):
+        queues = [ValuePriorityQueue(port) for port in range(2)]
+        ordering = Ordering("min_value", 1, queues, (1, 1))
+        _admit(queues[0], value=2.5)
+        _admit(queues[1], value=1.5)
+        ordering.update(0)
+        ordering.update(1)
+        top = ordering.best()
+        assert top[-1] == 1
+        assert -top[0] == 1.5  # negated top == global buffered minimum
+
+    def test_key_fns_cover_all_kinds(self):
+        assert set(KEY_FNS) == {
+            "length", "work", "static_work", "length_cheap", "min_value",
+            "ratio",
+        }
+
+
+class TestAggregateIndex:
+    def test_lazy_registration(self):
+        index = AggregateIndex(_fifo_queues(2), (1, 2))
+        assert index.registered_kinds == []
+        ordering = index.ordering("length")
+        assert index.registered_kinds == [("length", 1)]
+        assert index.ordering("length") is ordering
+        index.ordering("length", 2)
+        assert ("length", 2) in index.registered_kinds
+
+    def test_update_propagates_to_all_orderings(self):
+        queues = _fifo_queues(2)
+        index = AggregateIndex(queues, (1, 2))
+        by_len = index.ordering("length")
+        by_work = index.ordering("work")
+        _admit(queues[1], work=2)
+        index.update(1)
+        assert by_len.best() == (1, 2, 1)
+        assert by_work.best() == (2, 2, 1)
+        index.check()
+
+    def test_rebuild_after_external_reset(self):
+        queues = _fifo_queues(2)
+        index = AggregateIndex(queues, (1, 2))
+        ordering = index.ordering("length")
+        _admit(queues[0])
+        index.update(0)
+        queues[0].clear()
+        index.rebuild()
+        assert ordering.best() is None
+        index.check()
+
+
+class TestSwitchIntegration:
+    def test_fast_path_switch_exposes_index(self):
+        switch = SharedMemorySwitch(SwitchConfig.contiguous(3, 9))
+        assert switch.view.index is switch.index is not None
+        naive = SharedMemorySwitch(
+            SwitchConfig.contiguous(3, 9), fast_path=False
+        )
+        assert naive.view.index is None
+
+    def test_registered_orderings_survive_simulation(self):
+        switch = SharedMemorySwitch(SwitchConfig.contiguous(3, 6))
+        ordering = switch.index.ordering("length")
+        policy = AcceptAll()
+        for _ in range(3):
+            switch.offer(pkt(1, 2), policy)
+        assert ordering.best() == (3, 2, 1)
+        switch.transmission_phase()
+        switch.check_invariants()
+        switch.flush()
+        assert ordering.best() is None
+        switch.check_invariants()
+
+    def test_buffer_min_value_uses_index(self):
+        switch = SharedMemorySwitch(SwitchConfig.value_contiguous(3, 6))
+        policy = AcceptAll()
+        assert switch.view.buffer_min_value() is None
+        switch.offer(Packet(port=0, work=1, value=4.0), policy)
+        switch.offer(Packet(port=2, work=1, value=1.5), policy)
+        assert switch.view.buffer_min_value() == 1.5
+        assert switch.index.registered_kinds == [("min_value", 1)]
+
+    def test_fast_forward_requires_empty_buffer(self):
+        switch = SharedMemorySwitch(SwitchConfig.contiguous(2, 4))
+        switch.fast_forward(10)
+        assert switch.current_slot == 10
+        assert switch.metrics.slots_elapsed == 10
+        assert switch.metrics.mean_occupancy == 0.0
+        switch.offer(pkt(0, 1), AcceptAll())
+        with pytest.raises(PolicyError, match="empty buffer"):
+            switch.fast_forward(1)

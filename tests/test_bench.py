@@ -1,0 +1,156 @@
+"""The perf-benchmark harness: panels, reports, CLI, regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    PANELS,
+    SCHEMA_VERSION,
+    compare_reports,
+    load_report,
+    run_bench,
+    run_panel_bench,
+    select_panels,
+    write_report,
+)
+from repro.cli import main
+from repro.core.errors import ConfigError
+
+SMALL_SCALE = 0.02  # keep harness tests fast; timing accuracy is not at stake
+
+
+class TestPanels:
+    def test_panel_set_is_pinned(self):
+        assert set(PANELS) == {
+            "uniform-proc-small", "uniform-proc-large",
+            "mmpp-proc-small", "mmpp-proc-large",
+            "adversarial-proc-small", "adversarial-proc-large",
+            "adversarial-value-small", "adversarial-value-large",
+        }
+
+    def test_selectors(self):
+        assert {p.name for p in select_panels(["small"])} == {
+            name for name in PANELS if name.endswith("-small")
+        }
+        assert len(select_panels(["all"])) == len(PANELS)
+        assert [p.name for p in select_panels(["mmpp-proc-large"])] == [
+            "mmpp-proc-large"
+        ]
+        with pytest.raises(ConfigError, match="unknown bench panel"):
+            select_panels(["huge"])
+
+    def test_traces_are_reproducible(self):
+        panel = PANELS["adversarial-proc-small"]
+        first = panel.trace(SMALL_SCALE)
+        second = panel.trace(SMALL_SCALE)
+        assert first.n_slots == second.n_slots
+        for burst_a, burst_b in zip(first, second):
+            assert [(p.port, p.work) for p in burst_a] == [
+                (p.port, p.work) for p in burst_b
+            ]
+
+
+class TestModes:
+    @pytest.mark.parametrize(
+        "panel_name", ["adversarial-proc-small", "adversarial-value-small"]
+    )
+    def test_fast_and_naive_modes_agree_on_objectives(self, panel_name):
+        # The report records per-policy objectives exactly so that any
+        # fast/naive divergence shows up as drift, not just as perf noise.
+        panel = PANELS[panel_name]
+        fast = run_panel_bench(panel, mode="fast", slots_scale=SMALL_SCALE)
+        naive = run_panel_bench(panel, mode="naive", slots_scale=SMALL_SCALE)
+        assert [(t.policy, t.objective) for t in fast.timings] == [
+            (t.policy, t.objective) for t in naive.timings
+        ]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError, match="fast|naive"):
+            run_panel_bench(
+                PANELS["adversarial-proc-small"], mode="turbo"
+            )
+
+
+class TestReports:
+    def test_report_schema_round_trip(self, tmp_path):
+        report = run_bench(
+            select_panels(["adversarial-proc-small"]),
+            tag="unit",
+            slots_scale=SMALL_SCALE,
+        )
+        path = write_report(report, tmp_path)
+        assert path.name == "BENCH_unit.json"
+        loaded = load_report(path)
+        assert loaded["schema"] == SCHEMA_VERSION
+        assert loaded["tag"] == "unit"
+        assert loaded["mode"] == "fast"
+        panel = loaded["panels"]["adversarial-proc-small"]
+        assert panel["spec"]["n_ports"] == 8
+        assert panel["slots_per_s"] > 0
+        assert {t["policy"] for t in panel["per_policy"]} == {
+            "LQD", "LWD", "BPD"
+        }
+        assert "python" in loaded["environment"]
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"schema": 999, "panels": {}}))
+        with pytest.raises(ConfigError, match="schema"):
+            load_report(path)
+
+    def test_regression_gate(self):
+        current = {"panels": {"p": {"slots_per_s": 70.0}}}
+        baseline = {"panels": {"p": {"slots_per_s": 100.0}}}
+        found = compare_reports(current, baseline, max_regression=0.25)
+        assert len(found) == 1 and found[0].panel == "p"
+        assert not compare_reports(
+            current, baseline, max_regression=0.35
+        )
+        # Panels missing from the baseline are not compared.
+        assert not compare_reports(
+            {"panels": {"new": {"slots_per_s": 1.0}}}, baseline
+        )
+        with pytest.raises(ConfigError, match="max_regression"):
+            compare_reports(current, baseline, max_regression=1.5)
+
+
+class TestCli:
+    def test_bench_command_writes_report(self, tmp_path, capsys):
+        code = main([
+            "bench", "--tag", "clitest", "--out-dir", str(tmp_path),
+            "--panels", "adversarial-proc-small",
+            "--slots-scale", str(SMALL_SCALE),
+        ])
+        assert code == 0
+        report = load_report(tmp_path / "BENCH_clitest.json")
+        assert list(report["panels"]) == ["adversarial-proc-small"]
+        out = capsys.readouterr().out
+        assert "adversarial-proc-small" in out
+
+    def test_bench_gate_fails_on_regression(self, tmp_path):
+        # A baseline claiming absurd throughput forces the gate to trip.
+        baseline = {
+            "schema": SCHEMA_VERSION,
+            "tag": "impossible",
+            "mode": "fast",
+            "slots_scale": 1.0,
+            "panels": {
+                "adversarial-proc-small": {"slots_per_s": 1e12},
+            },
+        }
+        base_path = tmp_path / "BENCH_impossible.json"
+        base_path.write_text(json.dumps(baseline))
+        code = main([
+            "bench", "--tag", "gated", "--out-dir", str(tmp_path),
+            "--panels", "adversarial-proc-small",
+            "--slots-scale", str(SMALL_SCALE),
+            "--baseline", str(base_path),
+        ])
+        assert code == 1
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in PANELS:
+            assert name in out

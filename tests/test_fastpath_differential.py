@@ -1,0 +1,285 @@
+"""Differential suite: indexed vs. naive victim selection.
+
+The fast-path contract is that a switch built with ``fast_path=True``
+(aggregate-index selectors) produces *byte-identical* simulation output
+to one built with ``fast_path=False`` (the naive O(n) reference scans) —
+every Decision, including the paper's tie-breaking orders, must match.
+
+This suite drives both switches in lock-step over hypothesis-generated
+traces for every registered push-out policy in both disciplines and
+asserts equality of the full decision stream, the final metrics, and the
+final buffer contents. Values are drawn from a tiny set so exact-value
+ties (the hard tie-break cases) occur constantly; dedicated regression
+tests additionally pin the engineered tie cases from the paper's
+definitions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SwitchConfig
+from repro.core.decisions import Decision, push_out
+from repro.core.packet import Packet
+from repro.core.switch import SharedMemorySwitch
+from repro.policies import available_policies, make_policy
+from repro.policies.base import PushOutPolicy
+
+
+def _pushout_names(model: str) -> List[str]:
+    names = []
+    for entry in available_policies():
+        if model not in entry.models:
+            continue
+        if isinstance(make_policy(entry.name), PushOutPolicy):
+            names.append(entry.name)
+    return names
+
+
+PROC_PUSHOUT = _pushout_names("processing")
+VALUE_PUSHOUT = _pushout_names("value")
+
+#: Small tie-prone value alphabet for the value-model traces.
+TIE_VALUES = (1.0, 2.0, 3.0)
+
+
+def _drive_pair(
+    policy_name: str,
+    config: SwitchConfig,
+    slot_bursts: Sequence[Sequence[Packet]],
+    flush_every: int | None = None,
+) -> Tuple[SharedMemorySwitch, SharedMemorySwitch]:
+    """Run fast and naive switches in lock-step, asserting equal decisions."""
+    fast = SharedMemorySwitch(config, fast_path=True)
+    naive = SharedMemorySwitch(config, fast_path=False)
+    assert fast.index is not None and naive.index is None
+    fast_policy = make_policy(policy_name)
+    naive_policy = make_policy(policy_name)
+    for slot, burst in enumerate(slot_bursts):
+        for packet in burst:
+            d_fast = fast.offer(packet, fast_policy)
+            d_naive = naive.offer(packet, naive_policy)
+            assert d_fast == d_naive, (
+                f"{policy_name} diverged at slot {slot} on {packet}: "
+                f"fast={d_fast}, naive={d_naive}"
+            )
+        fast.transmission_phase()
+        naive.transmission_phase()
+        fast.current_slot += 1
+        naive.current_slot += 1
+        if flush_every is not None and (slot + 1) % flush_every == 0:
+            fast.flush()
+            naive.flush()
+    return fast, naive
+
+
+def _assert_same_outcome(
+    fast: SharedMemorySwitch, naive: SharedMemorySwitch
+) -> None:
+    fast.check_invariants()
+    naive.check_invariants()
+    # Sequence numbers differ (interleaved fresh copies draw from one
+    # global counter), so compare the observable packet state instead.
+    for q_fast, q_naive in zip(fast.queues, naive.queues):
+        state_fast = [(p.port, p.value, p.residual) for p in q_fast]
+        state_naive = [(p.port, p.value, p.residual) for p in q_naive]
+        assert state_fast == state_naive
+    m_fast, m_naive = fast.metrics, naive.metrics
+    assert m_fast.accepted == m_naive.accepted
+    assert m_fast.dropped == m_naive.dropped
+    assert m_fast.pushed_out == m_naive.pushed_out
+    assert m_fast.transmitted_packets == m_naive.transmitted_packets
+    assert m_fast.transmitted_value == m_naive.transmitted_value
+
+
+@st.composite
+def fifo_scenario(draw):
+    n = draw(st.integers(min_value=2, max_value=4))
+    buffer_size = draw(st.integers(min_value=n, max_value=3 * n))
+    n_slots = draw(st.integers(min_value=1, max_value=8))
+    bursts = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=0,
+                max_size=2 * buffer_size,
+            ),
+            min_size=n_slots,
+            max_size=n_slots,
+        )
+    )
+    flush_every = draw(st.sampled_from([None, 3]))
+    return n, buffer_size, bursts, flush_every
+
+
+@st.composite
+def value_scenario(draw):
+    n = draw(st.integers(min_value=2, max_value=4))
+    buffer_size = draw(st.integers(min_value=n, max_value=3 * n))
+    n_slots = draw(st.integers(min_value=1, max_value=8))
+    bursts = draw(
+        st.lists(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.sampled_from(TIE_VALUES),
+                ),
+                min_size=0,
+                max_size=2 * buffer_size,
+            ),
+            min_size=n_slots,
+            max_size=n_slots,
+        )
+    )
+    flush_every = draw(st.sampled_from([None, 3]))
+    return n, buffer_size, bursts, flush_every
+
+
+@pytest.mark.parametrize("policy_name", PROC_PUSHOUT)
+@settings(max_examples=25, deadline=None)
+@given(scenario=fifo_scenario())
+def test_processing_policies_decision_identical(policy_name, scenario):
+    n, buffer_size, bursts, flush_every = scenario
+    config = SwitchConfig.contiguous(n, buffer_size)
+    slot_bursts = [
+        [
+            Packet(port=p, work=config.work_of(p), arrival_slot=slot)
+            for p in burst
+        ]
+        for slot, burst in enumerate(bursts)
+    ]
+    fast, naive = _drive_pair(
+        policy_name, config, slot_bursts, flush_every=flush_every
+    )
+    _assert_same_outcome(fast, naive)
+
+
+@pytest.mark.parametrize("policy_name", VALUE_PUSHOUT)
+@settings(max_examples=25, deadline=None)
+@given(scenario=value_scenario())
+def test_value_policies_decision_identical(policy_name, scenario):
+    n, buffer_size, bursts, flush_every = scenario
+    config = SwitchConfig.value_contiguous(n, buffer_size)
+    slot_bursts = [
+        [
+            Packet(port=p, work=1, value=v, arrival_slot=slot)
+            for p, v in burst
+        ]
+        for slot, burst in enumerate(bursts)
+    ]
+    fast, naive = _drive_pair(
+        policy_name, config, slot_bursts, flush_every=flush_every
+    )
+    _assert_same_outcome(fast, naive)
+
+
+# ----------------------------------------------------------------------
+# Engineered exact-tie regressions (the paper's tie-breaking orders)
+# ----------------------------------------------------------------------
+
+
+def _fill(
+    switches: Sequence[SharedMemorySwitch],
+    policies: Sequence,
+    packets: Sequence[Packet],
+) -> None:
+    """Offer setup packets (buffer has room, so they are all accepted)."""
+    for packet in packets:
+        for switch, policy in zip(switches, policies):
+            decision = switch.offer(packet, policy)
+            assert decision.victim_port is None
+
+
+def _tie_case(
+    policy_name: str,
+    config: SwitchConfig,
+    setup: Sequence[Packet],
+    arrival: Packet,
+    expected: Decision,
+) -> None:
+    fast = SharedMemorySwitch(config, fast_path=True)
+    naive = SharedMemorySwitch(config, fast_path=False)
+    policies = [make_policy(policy_name), make_policy(policy_name)]
+    _fill((fast, naive), policies, setup)
+    assert fast.view.is_full and naive.view.is_full
+    d_fast = fast.offer(arrival, policies[0])
+    d_naive = naive.offer(arrival, policies[1])
+    assert d_fast == d_naive == expected
+    fast.check_invariants()
+
+
+def test_lqd_length_tie_prefers_heavier_then_higher_port():
+    # Queues 0 and 2 tied at length 2 (work 1 vs 3): victim is port 2.
+    config = SwitchConfig.contiguous(3, 4)
+    setup = [
+        Packet(port=0, work=1), Packet(port=0, work=1),
+        Packet(port=2, work=3), Packet(port=2, work=3),
+    ]
+    _tie_case(
+        "LQD", config, setup,
+        Packet(port=1, work=2), push_out(2),
+    )
+
+
+def test_lwd_work_tie_prefers_heavier_packets():
+    # W_0 = 6 via six work-1 packets, W_2 = 6 via two work-3 packets:
+    # tied total work, tie broken by per-packet work -> port 2.
+    config = SwitchConfig.contiguous(3, 8)
+    setup = [Packet(port=0, work=1) for _ in range(6)] + [
+        Packet(port=2, work=3), Packet(port=2, work=3),
+    ]
+    _tie_case(
+        "LWD", config, setup,
+        Packet(port=1, work=2), push_out(2),
+    )
+
+
+def test_mvd_min_value_tie_prefers_longer_queue():
+    # Both queues hold min value 1.0; queue 0 is longer -> victim 0.
+    config = SwitchConfig.value_contiguous(3, 4)
+    setup = [
+        Packet(port=0, work=1, value=1.0),
+        Packet(port=0, work=1, value=2.0),
+        Packet(port=0, work=1, value=3.0),
+        Packet(port=2, work=1, value=1.0),
+    ]
+    _tie_case(
+        "MVD", config, setup,
+        Packet(port=1, work=1, value=2.0), push_out(0),
+    )
+
+
+def test_mrd_ratio_tie_prefers_higher_port():
+    # Identical queues at ports 0 and 2: ratio and min value tie, so the
+    # higher port wins.
+    config = SwitchConfig.value_contiguous(3, 4)
+    setup = [
+        Packet(port=0, work=1, value=1.0),
+        Packet(port=0, work=1, value=3.0),
+        Packet(port=2, work=1, value=1.0),
+        Packet(port=2, work=1, value=3.0),
+    ]
+    _tie_case(
+        "MRD", config, setup,
+        Packet(port=1, work=1, value=2.0), push_out(2),
+    )
+
+
+def test_lqd_arrival_queue_wins_tie_and_drops():
+    # The arrival's own queue (virtually one longer) is the unique
+    # argmax -> DROP, on both paths.
+    config = SwitchConfig.contiguous(2, 2)
+    setup = [Packet(port=1, work=2), Packet(port=1, work=2)]
+    fast = SharedMemorySwitch(config, fast_path=True)
+    naive = SharedMemorySwitch(config, fast_path=False)
+    policies = [make_policy("LQD"), make_policy("LQD")]
+    _fill((fast, naive), policies, setup)
+    arrival = Packet(port=1, work=2)
+    d_fast = fast.offer(arrival, policies[0])
+    d_naive = naive.offer(arrival, policies[1])
+    assert d_fast == d_naive
+    assert d_fast.victim_port is None

@@ -59,13 +59,38 @@ class TestQueueQueries:
         policy = AcceptAll()
         switch.offer(pkt(0, 1), policy)
         switch.offer(pkt(2, 3), policy)
-        assert switch.view.nonempty_ports() == [0, 2]
+        assert switch.view.nonempty_ports() == (0, 2)
 
-    def test_queue_packets_snapshot_is_copy(self, switch):
+    def test_nonempty_ports_cache_invalidated_on_change(self, switch):
+        policy = AcceptAll()
+        switch.offer(pkt(0, 1), policy)
+        assert switch.view.nonempty_ports() == (0,)
+        switch.offer(pkt(2, 3), policy)
+        assert switch.view.nonempty_ports() == (0, 2)
+        switch.transmission_phase()  # drains the work-1 packet at port 0
+        assert switch.view.nonempty_ports() == (2,)
+
+    def test_nonempty_ports_cached_between_changes(self, switch):
+        switch.offer(pkt(1, 2), AcceptAll())
+        first = switch.view.nonempty_ports()
+        assert switch.view.nonempty_ports() is first
+
+    def test_queue_packets_snapshot_is_immutable(self, switch):
         switch.offer(pkt(1, 2), AcceptAll())
         snapshot = switch.view.queue_packets(1)
-        snapshot.clear()
+        assert isinstance(snapshot, tuple)
+        assert len(snapshot) == 1
         assert switch.view.queue_len(1) == 1
+
+    def test_queue_packets_cache_invalidated_on_change(self, switch):
+        policy = AcceptAll()
+        switch.offer(pkt(1, 2), policy)
+        before = switch.view.queue_packets(1)
+        assert switch.view.queue_packets(1) is before
+        switch.offer(pkt(1, 2), policy)
+        after = switch.view.queue_packets(1)
+        assert after is not before
+        assert len(after) == 2
 
 
 class TestValueQueries:
@@ -93,3 +118,16 @@ class TestValueQueries:
             value_switch.view.min_value(0)
         with pytest.raises(PolicyError):
             value_switch.view.tail_value(0)
+
+    def test_tail_value_empty_queue_names_port(self, value_switch):
+        with pytest.raises(PolicyError, match="queue 2"):
+            value_switch.view.tail_value(2)
+        with pytest.raises(PolicyError, match="queue 1"):
+            value_switch.view.peek_tail(1)
+
+    def test_tail_value_out_of_range_port_is_policy_error(self, value_switch):
+        # Regression: used to escape as a bare IndexError.
+        with pytest.raises(PolicyError, match="out of range"):
+            value_switch.view.tail_value(7)
+        with pytest.raises(PolicyError, match="out of range"):
+            value_switch.view.peek_tail(-1)
