@@ -24,6 +24,7 @@ from repro.core.errors import ConfigError
 from repro.core.metrics import SwitchMetrics
 from repro.core.packet import Packet
 from repro.core.switch import AdmissionPolicy, SharedMemorySwitch
+from repro.obs.observer import SlotObserver
 from repro.opt.scripted import ScriptedPolicy
 from repro.opt.surrogate import System, make_surrogate
 from repro.traffic.trace import Trace
@@ -43,9 +44,16 @@ class PolicySystem:
         policy: AdmissionPolicy,
         *,
         fast_path: bool = True,
+        observer: Optional[SlotObserver] = None,
     ) -> None:
-        self.switch = SharedMemorySwitch(config, fast_path=fast_path)
+        self.switch = SharedMemorySwitch(
+            config, fast_path=fast_path, observer=observer
+        )
         self.policy = policy
+
+    def attach_observer(self, observer: Optional[SlotObserver]) -> None:
+        """Forward to the switch's nullable observer slot."""
+        self.switch.attach_observer(observer)
 
     @property
     def metrics(self) -> SwitchMetrics:
@@ -123,17 +131,29 @@ def run_system(
     *,
     flush_every: Optional[int] = None,
     drain_slots: int = 0,
+    observer: Optional[SlotObserver] = None,
 ) -> SwitchMetrics:
     """Replay a trace through one system, with optional flushouts/drain.
 
     Stretches of slots with no arrivals while the buffer is empty are
     fast-forwarded in one step on systems that support it (the switch is
-    a fixed point of such slots, so the replay is observably identical).
+    a fixed point of such slots, so the replay is observably identical;
+    an attached observer sees the stretch as one explicit idle event).
     Setting ``REPRO_CHECK_INVARIANTS`` runs the system's self-checks
-    every K slots (see :func:`invariant_check_interval`).
+    every K slots (see :func:`invariant_check_interval`). Passing
+    ``observer`` attaches a :class:`~repro.obs.observer.SlotObserver`
+    for the duration of the run; the system must expose
+    ``attach_observer`` (the OPT surrogates do not).
     """
     if flush_every is not None and flush_every < 1:
         raise ConfigError(f"flush_every must be >= 1, got {flush_every}")
+    if observer is not None:
+        attach = getattr(system, "attach_observer", None)
+        if attach is None:
+            raise ConfigError(
+                f"{type(system).__name__} does not support observers"
+            )
+        attach(observer)
     check_every = invariant_check_interval()
     if check_every and not hasattr(system, "check_invariants"):
         check_every = 0
@@ -179,6 +199,7 @@ def measure_competitive_ratio(
     opt: Union[str, System] = "surrogate",
     flush_every: Optional[int] = None,
     drain: bool = False,
+    registry=None,
 ) -> CompetitiveResult:
     """Replay ``trace`` through ``policy`` and an OPT reference.
 
@@ -203,6 +224,11 @@ def measure_competitive_ratio(
     drain:
         After the trace, run empty slots until both systems empty (bounded
         by ``B * k`` slots), crediting buffered packets.
+    registry:
+        Optional :class:`~repro.obs.counters.CounterRegistry`; when
+        given, the ALG replay is charged to the ``policy_run`` stage and
+        the OPT replay to ``opt_run`` — the split the sweep engine
+        surfaces through :class:`~repro.analysis.sweep.SweepStats`.
     """
     if by_value is None:
         by_value = config.discipline is QueueDiscipline.PRIORITY
@@ -223,12 +249,26 @@ def measure_competitive_ratio(
     drain_slots = config.buffer_size * config.max_work if drain else 0
 
     alg_system = PolicySystem(config, policy)
-    alg_metrics = run_system(
-        alg_system, trace, flush_every=flush_every, drain_slots=drain_slots
-    )
-    opt_metrics = run_system(
-        opt_system, trace, flush_every=flush_every, drain_slots=drain_slots
-    )
+    if registry is None:
+        alg_metrics = run_system(
+            alg_system, trace,
+            flush_every=flush_every, drain_slots=drain_slots,
+        )
+        opt_metrics = run_system(
+            opt_system, trace,
+            flush_every=flush_every, drain_slots=drain_slots,
+        )
+    else:
+        with registry.timer("policy_run"):
+            alg_metrics = run_system(
+                alg_system, trace,
+                flush_every=flush_every, drain_slots=drain_slots,
+            )
+        with registry.timer("opt_run"):
+            opt_metrics = run_system(
+                opt_system, trace,
+                flush_every=flush_every, drain_slots=drain_slots,
+            )
 
     return CompetitiveResult(
         policy_name=getattr(policy, "name", type(policy).__name__),

@@ -57,6 +57,7 @@ from typing import (
 
 from repro.analysis.cache import SweepCache
 from repro.analysis.competitive import measure_competitive_ratio
+from repro.obs.counters import CounterRegistry
 from repro.analysis.stats import Summary, summarize
 from repro.core.config import SwitchConfig
 from repro.core.errors import ConfigError
@@ -97,6 +98,12 @@ class SweepStats:
     cache_misses: int = 0
     elapsed_seconds: float = 0.0
     jobs: int = 1
+    #: Accumulated wall-clock per pipeline stage across executed cells
+    #: (``trace_gen`` / ``policy_run`` / ``opt_run``), collected through
+    #: the :class:`~repro.obs.counters.CounterRegistry` façade. With
+    #: ``jobs > 1`` the stages sum worker time, which can exceed
+    #: ``elapsed_seconds``. Cached cells contribute nothing.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def cells_per_second(self) -> float:
@@ -123,6 +130,16 @@ class SweepStats:
                 f", cache {self.cache_hits}/{lookups} hits "
                 f"({100 * self.cache_hit_rate:.0f}%)"
             )
+        if self.stage_seconds:
+            stages = ", ".join(
+                f"{name} {seconds:.2f}s"
+                for name, seconds in sorted(
+                    self.stage_seconds.items(),
+                    key=lambda item: item[1],
+                    reverse=True,
+                )
+            )
+            text += f"; stages: {stages}"
         return text
 
 
@@ -235,7 +252,7 @@ def _execute_cell(
     value: float,
     seed: int,
     policy_names: Sequence[str],
-) -> List[SweepPoint]:
+) -> Tuple[List[SweepPoint], Dict[str, float]]:
     """Measure ``policy_names`` on one (value, seed) cell.
 
     The trace is derived deterministically from (config, value, seed) and
@@ -243,9 +260,15 @@ def _execute_cell(
     arrivals — the invariant all ratio comparisons rest on. Serial and
     parallel runs both funnel through this function, which is what makes
     their outputs bit-for-bit identical.
+
+    Returns the cell's points plus its per-stage wall-clock breakdown
+    (``trace_gen`` / ``policy_run`` / ``opt_run``), which the runner
+    folds into :attr:`SweepStats.stage_seconds`.
     """
+    registry = CounterRegistry()
     config = ctx.config_factory(value)
-    trace = ctx.trace_factory(config, value, seed)
+    with registry.timer("trace_gen"):
+        trace = ctx.trace_factory(config, value, seed)
     points: List[SweepPoint] = []
     for policy_name in policy_names:
         policy = make_policy(policy_name)
@@ -257,6 +280,7 @@ def _execute_cell(
             opt="surrogate",
             flush_every=ctx.flush_every,
             drain=ctx.drain,
+            registry=registry,
         )
         points.append(
             SweepPoint(
@@ -268,7 +292,7 @@ def _execute_cell(
                 opt_objective=outcome.opt_objective,
             )
         )
-    return points
+    return points, registry.stage_seconds()
 
 
 #: Cell context inherited by forked pool workers. Submitted arguments
@@ -280,7 +304,7 @@ _WORKER_CONTEXT: Optional[_CellContext] = None
 
 def _run_cell_in_worker(
     value: float, seed: int, policy_names: Tuple[str, ...]
-) -> List[SweepPoint]:
+) -> Tuple[List[SweepPoint], Dict[str, float]]:
     """Pool entry point: measure one cell using the forked context."""
     assert _WORKER_CONTEXT is not None, "worker forked without a context"
     return _execute_cell(_WORKER_CONTEXT, value, seed, policy_names)
@@ -481,10 +505,15 @@ def run_sweep(
     to_run = [plan for plan in plans if plan.missing]
 
     computed: Dict[Tuple[float, int], Dict[str, SweepPoint]] = {}
+    stage_registry = CounterRegistry()
 
     def finish_cell(
-        plan: _CellPlan, points: Sequence[SweepPoint], done: int
+        plan: _CellPlan,
+        cell_result: Tuple[Sequence[SweepPoint], Mapping[str, float]],
+        done: int,
     ) -> None:
+        points, stage_seconds = cell_result
+        stage_registry.merge_seconds(stage_seconds)
         by_policy = {point.policy: point for point in points}
         computed[(plan.value, plan.seed)] = by_policy
         if cache is not None:
@@ -566,5 +595,6 @@ def run_sweep(
         ),
         elapsed_seconds=time.perf_counter() - started,
         jobs=n_jobs,
+        stage_seconds=stage_registry.stage_seconds(),
     )
     return result

@@ -469,6 +469,125 @@ def load_report(path: Path | str) -> Dict[str, object]:
 
 
 # ----------------------------------------------------------------------
+# Observer overhead
+# ----------------------------------------------------------------------
+
+
+def run_obs_bench(
+    panels: Sequence[BenchPanel],
+    *,
+    tag: str = "obs",
+    slots_scale: float = 1.0,
+    progress=None,
+) -> Dict[str, object]:
+    """Measure JSONL-recording overhead per panel (reported, not gated).
+
+    For each panel the *first* pinned policy is run twice over the same
+    trace: once with the observer slot empty (the fenced configuration)
+    and once streaming the full event trace to a temporary JSONL file
+    through :class:`~repro.obs.trace_io.JsonlTraceWriter`. The report
+    records both rates plus the relative overhead and the trace size —
+    the honest price list for turning recording on. The disabled-path
+    *gate* lives in ``benchmarks/test_fastpath_perf.py``; this report
+    only documents the recording cost.
+    """
+    import os
+    import tempfile
+
+    from repro.obs.trace_io import JsonlTraceWriter
+
+    report: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "kind": "observer-overhead",
+        "tag": tag,
+        "mode": "fast",
+        "slots_scale": slots_scale,
+        "created": datetime.now(timezone.utc).isoformat(),
+        "environment": _environment(),
+        "panels": {},
+    }
+    for panel in panels:
+        trace = panel.trace(slots_scale)
+        config = panel.config()
+        by_value = config.discipline is QueueDiscipline.PRIORITY
+        policy_name = panel.policies[0]
+
+        def timed_run(observer) -> Tuple[float, float]:
+            system = PolicySystem(
+                config, make_policy(policy_name), observer=observer
+            )
+            started = time.perf_counter()
+            metrics = run_system(system, trace)
+            return (
+                time.perf_counter() - started,
+                metrics.objective(by_value),
+            )
+
+        disabled_s, disabled_obj = timed_run(None)
+        handle, path = tempfile.mkstemp(suffix=".jsonl", prefix="obsbench-")
+        os.close(handle)
+        try:
+            writer = JsonlTraceWriter(
+                path, header={"panel": panel.name, "policy": policy_name}
+            )
+            recording_s, recording_obj = timed_run(writer)
+            writer.write_end()
+            events = writer.events_written
+            trace_bytes = os.path.getsize(path)
+        finally:
+            os.unlink(path)
+        if recording_obj != disabled_obj:
+            raise ConfigError(
+                f"observer changed the simulation on {panel.name}: "
+                f"objective {recording_obj} != {disabled_obj}"
+            )
+        n_slots = trace.n_slots
+        disabled_rate = n_slots / disabled_s if disabled_s > 0 else 0.0
+        recording_rate = n_slots / recording_s if recording_s > 0 else 0.0
+        overhead = (
+            (disabled_rate / recording_rate - 1.0)
+            if recording_rate > 0
+            else 0.0
+        )
+        report["panels"][panel.name] = {
+            "spec": panel.spec(),
+            "policy": policy_name,
+            "n_slots": n_slots,
+            "disabled_slots_per_s": round(disabled_rate, 2),
+            "recording_slots_per_s": round(recording_rate, 2),
+            "recording_overhead_pct": round(100 * overhead, 1),
+            "events": events,
+            "trace_bytes": trace_bytes,
+            "objective": disabled_obj,
+        }
+        if progress is not None:
+            progress(
+                f"{panel.name}: disabled {disabled_rate:.1f} slots/s, "
+                f"recording {recording_rate:.1f} slots/s "
+                f"(+{100 * overhead:.1f}%, {trace_bytes} bytes)"
+            )
+    return report
+
+
+def format_obs_report(report: Mapping[str, object]) -> str:
+    """Human-readable table of an observer-overhead report."""
+    lines = [
+        f"# observer overhead tag={report['tag']} "
+        f"scale={report['slots_scale']}",
+        f"{'panel':26s} {'off slots/s':>12s} {'rec slots/s':>12s} "
+        f"{'overhead':>9s} {'bytes':>10s}",
+    ]
+    for name, panel in report["panels"].items():
+        lines.append(
+            f"{name:26s} {panel['disabled_slots_per_s']:12.1f} "
+            f"{panel['recording_slots_per_s']:12.1f} "
+            f"{panel['recording_overhead_pct']:8.1f}% "
+            f"{panel['trace_bytes']:10d}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
 # Regression gate
 # ----------------------------------------------------------------------
 

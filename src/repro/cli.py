@@ -14,6 +14,12 @@ Subcommands
 ``bench``
     Run the pinned performance panels, write ``BENCH_<tag>.json``, and
     optionally gate against a baseline report.
+``trace``
+    Record a pinned bench panel as a JSONL event trace, or replay-verify
+    a recorded trace (conservation laws + byte-equal metrics).
+``profile``
+    Run a sweep experiment and print the per-stage wall-clock breakdown
+    (trace generation vs. policy runs vs. OPT surrogate).
 """
 
 from __future__ import annotations
@@ -175,9 +181,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         PANELS,
         compare_reports,
+        format_obs_report,
         format_report,
         load_report,
         run_bench,
+        run_obs_bench,
         select_panels,
         write_report,
     )
@@ -192,6 +200,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 0
 
     panels = select_panels(args.panels)
+    if args.obs_overhead:
+        report = run_obs_bench(
+            panels,
+            tag=args.tag if args.tag != "local" else "obs",
+            slots_scale=args.slots_scale,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+        print(format_obs_report(report))
+        path = write_report(report, args.out_dir)
+        print(f"# wrote {path}")
+        return 0
     report = run_bench(
         panels,
         tag=args.tag,
@@ -218,6 +237,97 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 print(f"#   {regression}", file=sys.stderr)
             return 1
         print(f"# no regression vs {args.baseline}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Record a bench panel to JSONL, or replay-verify a recorded file."""
+    from repro.obs import replay_trace
+
+    if args.verify:
+        result = replay_trace(args.verify)
+        print(f"# {args.verify}")
+        print(result.summary())
+        result.verify()
+        print(
+            "# verified: conservation laws hold and replayed metrics are "
+            "byte-equal to the recorded run"
+        )
+        return 0
+
+    if not args.scenario or not args.out:
+        print(
+            "trace needs either --verify FILE or --scenario PANEL "
+            "--out FILE",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.bench import PANELS
+    from repro.obs import record_trace
+    from repro.policies import make_policy
+
+    panel = PANELS.get(args.scenario)
+    if panel is None:
+        print(
+            f"unknown bench panel {args.scenario!r}; known: "
+            + ", ".join(PANELS),
+            file=sys.stderr,
+        )
+        return 2
+    policy_name = args.policy or panel.policies[0]
+    config = panel.config()
+    trace = panel.trace(args.slots_scale)
+    metrics = record_trace(
+        make_policy(policy_name),
+        trace,
+        config,
+        args.out,
+        header={
+            "panel": panel.name,
+            "slots_scale": args.slots_scale,
+            "seed": panel.seed,
+        },
+    )
+    print(
+        f"# recorded {panel.name} [{policy_name}] -> {args.out}: "
+        f"{metrics.slots_elapsed} slots, {metrics.arrived} arrivals, "
+        f"{metrics.transmitted_packets} transmitted"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run a sweep experiment and print its hot-stage breakdown."""
+    progress = None
+    if args.progress:
+        progress = lambda line: print(line, file=sys.stderr)  # noqa: E731
+    result = run_experiment(
+        args.experiment,
+        n_slots=args.slots,
+        seeds=args.seeds,
+        jobs=args.jobs,
+        cache_dir=None,  # caching would hide the cost being measured
+        progress=progress,
+    )
+    if not isinstance(result, SweepResult):
+        print(
+            f"profile applies to sweep experiments (fig5-1..fig5-9); "
+            f"{args.experiment!r} is a single replay",
+            file=sys.stderr,
+        )
+        return 2
+    stats = result.stats
+    print(f"# {args.experiment}: {describe_experiment(args.experiment)}")
+    print(f"# {stats.summary()}")
+    total = sum(stats.stage_seconds.values())
+    print(f"{'stage':12s} {'seconds':>10s} {'share':>7s}")
+    for name, seconds in sorted(
+        stats.stage_seconds.items(), key=lambda item: item[1], reverse=True
+    ):
+        share = seconds / total if total > 0 else 0.0
+        print(f"{name:12s} {seconds:10.4f} {share:6.1%}")
+    overhead = stats.elapsed_seconds - total
+    print(f"{'other':12s} {max(overhead, 0.0):10.4f}")
     return 0
 
 
@@ -370,7 +480,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true",
         help="list the pinned panels and exit",
     )
+    bench_parser.add_argument(
+        "--obs-overhead", action="store_true",
+        help=(
+            "measure JSONL event-recording overhead instead of raw "
+            "throughput (writes BENCH_obs.json by default)"
+        ),
+    )
     bench_parser.set_defaults(func=_cmd_bench)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="record a bench panel as a JSONL event trace, or verify one",
+    )
+    trace_parser.add_argument(
+        "--scenario", default=None,
+        help="bench panel to record (see `repro bench --list`)",
+    )
+    trace_parser.add_argument(
+        "--policy", default=None,
+        help="policy to drive (default: the panel's first pinned policy)",
+    )
+    trace_parser.add_argument(
+        "--out", default=None, help="output JSONL path for recording"
+    )
+    trace_parser.add_argument(
+        "--slots-scale", type=float, default=1.0,
+        help="scale the panel's slot count (recorded in the header)",
+    )
+    trace_parser.add_argument(
+        "--verify", default=None, metavar="FILE",
+        help=(
+            "replay FILE, check conservation laws, and require replayed "
+            "metrics byte-equal to the recorded footer"
+        ),
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="run a sweep experiment and print per-stage timings",
+    )
+    profile_parser.add_argument("experiment", help="e.g. fig5-1")
+    profile_parser.add_argument(
+        "--slots", type=int, default=None,
+        help="simulation length in slots",
+    )
+    profile_parser.add_argument(
+        "--seeds", type=int, nargs="+", default=None,
+        help="replication seeds",
+    )
+    profile_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (stage times sum worker wall-clock)",
+    )
+    profile_parser.add_argument(
+        "--progress", action="store_true",
+        help="report per-cell progress on stderr",
+    )
+    profile_parser.set_defaults(func=_cmd_profile)
     return parser
 
 

@@ -158,3 +158,75 @@ class SwitchMetrics:
             "occupancy_peak": self.occupancy_peak,
             "loss_rate": self.loss_rate,
         }
+
+    def snapshot(self) -> Dict[str, object]:
+        """The *complete* flat export: every counter, including the
+        per-port lists and the raw occupancy integral.
+
+        Unlike :meth:`as_dict` (a stable CSV/logging schema of derived
+        headline numbers), a snapshot loses no information:
+        :meth:`from_snapshot` reconstructs an equal ``SwitchMetrics``,
+        which is the round-trip the trace-replay verifier relies on.
+        JSON round-trips preserve it exactly (floats serialize via
+        ``repr`` and ints stay ints).
+        """
+        return {
+            "n_ports": self.n_ports,
+            "arrived": self.arrived,
+            "accepted": self.accepted,
+            "dropped": self.dropped,
+            "pushed_out": self.pushed_out,
+            "flushed": self.flushed,
+            "transmitted_packets": self.transmitted_packets,
+            "transmitted_value": self.transmitted_value,
+            "slots_elapsed": self.slots_elapsed,
+            "occupancy_integral": self.occupancy_integral,
+            "occupancy_peak": self.occupancy_peak,
+            "transmitted_by_port": list(self.transmitted_by_port),
+            "transmitted_value_by_port": list(
+                self.transmitted_value_by_port
+            ),
+            "dropped_by_port": list(self.dropped_by_port),
+            "delay_sum_by_port": list(self.delay_sum_by_port),
+            "delay_count_by_port": list(self.delay_count_by_port),
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, object]) -> "SwitchMetrics":
+        """Rebuild a ``SwitchMetrics`` equal to the one snapshotted."""
+        n_ports = int(data["n_ports"])  # type: ignore[arg-type]
+        metrics = cls(n_ports=n_ports)
+        for name in (
+            "arrived",
+            "accepted",
+            "dropped",
+            "pushed_out",
+            "flushed",
+            "transmitted_packets",
+            "slots_elapsed",
+            "occupancy_integral",
+            "occupancy_peak",
+        ):
+            setattr(metrics, name, int(data[name]))  # type: ignore[arg-type]
+        metrics.transmitted_value = float(data["transmitted_value"])  # type: ignore[arg-type]
+        for name in (
+            "transmitted_by_port",
+            "dropped_by_port",
+            "delay_sum_by_port",
+            "delay_count_by_port",
+        ):
+            values = [int(v) for v in data[name]]  # type: ignore[union-attr]
+            if len(values) != n_ports:
+                raise ValueError(
+                    f"snapshot field {name} has {len(values)} entries "
+                    f"for {n_ports} ports"
+                )
+            setattr(metrics, name, values)
+        value_list = [float(v) for v in data["transmitted_value_by_port"]]  # type: ignore[union-attr]
+        if len(value_list) != n_ports:
+            raise ValueError(
+                "snapshot field transmitted_value_by_port has "
+                f"{len(value_list)} entries for {n_ports} ports"
+            )
+        metrics.transmitted_value_by_port = value_list
+        return metrics

@@ -40,6 +40,18 @@ them on or off):
 Every queue mutation funnels through :meth:`SharedMemorySwitch.
 _queue_changed`, which updates the active set, invalidates the cached
 read views handed to policies, and notifies the index.
+
+Observability
+-------------
+The switch carries a *nullable observer slot* (:attr:`SharedMemorySwitch.
+observer`). When set to a :class:`~repro.obs.observer.SlotObserver`, the
+engine emits structured events — slot framing, arrivals, decisions,
+push-outs, transmissions, flushes, and explicit idle frames for
+fast-forwarded stretches — as frozen snapshots that observers cannot
+mutate the simulation through. When the slot is ``None`` (the default)
+the arrival hot path pays exactly one ``is None`` check per packet; the
+overhead contract is fenced by ``benchmarks/test_fastpath_perf.py`` and
+documented in ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -54,6 +66,7 @@ from repro.core.errors import PolicyError, TraceError
 from repro.core.metrics import SwitchMetrics
 from repro.core.packet import Packet
 from repro.core.queues import FifoQueue, OutputQueue, ValuePriorityQueue
+from repro.obs.observer import PacketEvent, SlotObserver
 
 
 class SwitchView:
@@ -212,8 +225,15 @@ class SharedMemorySwitch:
     (the differential suite enforces this).
     """
 
-    def __init__(self, config: SwitchConfig, *, fast_path: bool = True) -> None:
+    def __init__(
+        self,
+        config: SwitchConfig,
+        *,
+        fast_path: bool = True,
+        observer: Optional[SlotObserver] = None,
+    ) -> None:
         self.config = config
+        self.observer = observer
         queue_cls = (
             FifoQueue
             if config.discipline is QueueDiscipline.FIFO
@@ -238,6 +258,14 @@ class SharedMemorySwitch:
         self._packets_cache: List[Optional[Tuple[Packet, ...]]] = (
             [None] * config.n_ports
         )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def attach_observer(self, observer: Optional[SlotObserver]) -> None:
+        """Set (or clear, with ``None``) the switch's observer slot."""
+        self.observer = observer
 
     # ------------------------------------------------------------------
     # Change notification (the single funnel for queue mutations)
@@ -287,8 +315,17 @@ class SharedMemorySwitch:
         """Process a single arrival; returns the decision for observability."""
         self._validate_arrival(packet)
         self.metrics.record_arrival(packet)
+        observer = self.observer
+        if observer is None:
+            decision = policy.admit(self.view, packet)
+            self.apply(packet, decision)
+            return decision
+        observer.on_arrival(self.current_slot, PacketEvent.of(packet))
         decision = policy.admit(self.view, packet)
         self.apply(packet, decision)
+        observer.on_decision(
+            self.current_slot, decision.action.value, decision.victim_port
+        )
         return decision
 
     def apply(self, packet: Packet, decision: Decision) -> None:
@@ -313,6 +350,10 @@ class SharedMemorySwitch:
             self.occupancy -= 1
             self._queue_changed(victim_port)
             self.metrics.record_push_out(victim)
+            if self.observer is not None:
+                self.observer.on_push_out(
+                    self.current_slot, PacketEvent.of(victim)
+                )
             # Fall through to accept the arriving packet.
 
         if self.occupancy >= self.config.buffer_size:
@@ -364,6 +405,11 @@ class SharedMemorySwitch:
                     transmitted.extend(done)
                 self._queue_changed(port)
         self.metrics.record_transmissions(transmitted, slot=self.current_slot)
+        observer = self.observer
+        if observer is not None and transmitted:
+            slot = self.current_slot
+            for packet in transmitted:
+                observer.on_transmit(slot, PacketEvent.of(packet))
         return transmitted
 
     # ------------------------------------------------------------------
@@ -374,9 +420,14 @@ class SharedMemorySwitch:
         self, arrivals: Sequence[Packet], policy: AdmissionPolicy
     ) -> List[Packet]:
         """One full time slot: arrival phase then transmission phase."""
+        observer = self.observer
+        if observer is not None:
+            observer.on_slot_begin(self.current_slot, len(arrivals))
         self.arrival_phase(arrivals, policy)
         transmitted = self.transmission_phase()
         self.metrics.record_slot(self.occupancy)
+        if observer is not None:
+            observer.on_slot_end(self.current_slot, self.occupancy)
         self.current_slot += 1
         return transmitted
 
@@ -396,6 +447,8 @@ class SharedMemorySwitch:
                 "fast_forward requires an empty buffer "
                 f"(occupancy={self.occupancy})"
             )
+        if self.observer is not None:
+            self.observer.on_idle(self.current_slot, n_slots)
         self.metrics.record_idle_slots(n_slots)
         self.current_slot += n_slots
 
@@ -410,6 +463,11 @@ class SharedMemorySwitch:
         self.occupancy = 0
         self._reset_runtime_state()
         self.metrics.record_flush(dropped)
+        if self.observer is not None:
+            self.observer.on_flush(
+                self.current_slot,
+                tuple(PacketEvent.of(packet) for packet in dropped),
+            )
         return len(dropped)
 
     # ------------------------------------------------------------------

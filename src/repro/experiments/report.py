@@ -100,15 +100,25 @@ def generate_report(options: Optional[ReportOptions] = None) -> str:
             out.write(result.format_table())
             out.write(f"\n```\n\n*{result.stats.summary()}*\n\n")
         out.write("### Sweep engine throughput\n\n")
-        out.write("| panel | cells | executed | cells/s | cache hit rate |\n")
-        out.write("|---|---|---|---|---|\n")
+        out.write(
+            "| panel | cells | executed | cells/s | cache hit rate "
+            "| trace gen | policy runs | OPT runs |\n"
+        )
+        out.write("|---|---|---|---|---|---|---|---|\n")
         for panel, stats in panel_stats:
+            stages = stats.stage_seconds
             out.write(
                 f"| {panel} | {stats.cells_total} | {stats.cells_executed} "
                 f"| {stats.cells_per_second:.2f} "
-                f"| {100 * stats.cache_hit_rate:.0f}% |\n"
+                f"| {100 * stats.cache_hit_rate:.0f}% "
+                f"| {stages.get('trace_gen', 0.0):.2f}s "
+                f"| {stages.get('policy_run', 0.0):.2f}s "
+                f"| {stages.get('opt_run', 0.0):.2f}s |\n"
             )
-        out.write("\n")
+        out.write(
+            "\nStage columns sum per-cell wall-clock (worker time under "
+            "`--jobs`); cached cells contribute nothing.\n\n"
+        )
 
     if options.include_extensions:
         out.write("## Extension studies\n\n")

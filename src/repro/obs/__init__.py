@@ -1,0 +1,42 @@
+"""Observability layer: event tracing, trace replay, stage profiling.
+
+Three cooperating pieces (see ``docs/OBSERVABILITY.md``):
+
+* :class:`SlotObserver` / :class:`PacketEvent` — the read-only event
+  protocol a :class:`~repro.core.switch.SharedMemorySwitch` drives when
+  an observer is attached (one ``is None`` check per arrival when not).
+* :class:`JsonlTraceWriter` / :class:`TraceReplayer` — record a run as
+  a versioned JSONL event stream; re-derive its metrics purely from the
+  stream and check conservation laws, byte-equal to the live run.
+* :class:`CounterRegistry` — named counters and stage timers behind the
+  sweep engine's per-stage cost breakdown (``repro profile``).
+"""
+
+from repro.obs.counters import CounterRegistry
+from repro.obs.observer import PacketEvent, SlotObserver
+from repro.obs.replay import (
+    ConservationError,
+    ReplayResult,
+    TraceReplayer,
+    replay_trace,
+)
+from repro.obs.trace_io import (
+    EVENT_SCHEMA_VERSION,
+    JsonlTraceWriter,
+    read_events,
+    record_trace,
+)
+
+__all__ = [
+    "ConservationError",
+    "CounterRegistry",
+    "EVENT_SCHEMA_VERSION",
+    "JsonlTraceWriter",
+    "PacketEvent",
+    "ReplayResult",
+    "SlotObserver",
+    "TraceReplayer",
+    "read_events",
+    "record_trace",
+    "replay_trace",
+]

@@ -1,0 +1,126 @@
+"""Named counters and stage timers for coarse-grained profiling.
+
+Where :mod:`repro.obs.observer` watches *packet-level* events, this
+module watches *stage-level* cost: how long a sweep cell spends
+generating its trace, running the policy, and running the OPT
+surrogate. A :class:`CounterRegistry` is a tiny façade over two dicts —
+monotonically increasing counters and accumulated wall-clock timers —
+with a merge operation so per-cell registries can be folded into
+per-sweep totals (:class:`~repro.analysis.sweep.SweepStats` carries the
+result; ``repro profile`` prints it).
+
+Timers use :func:`time.perf_counter` and accumulate ``(seconds,
+calls)``; they nest but do not deduplicate — a stage timed inside
+another stage is charged to both, which is the useful convention for
+"where does the wall-clock go" breakdowns.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+class _Timer:
+    """Context manager charging elapsed wall-clock to one stage name."""
+
+    __slots__ = ("_registry", "_name", "_started")
+
+    def __init__(self, registry: "CounterRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._started = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self._registry.add_seconds(
+            self._name, time.perf_counter() - self._started
+        )
+
+
+class CounterRegistry:
+    """Accumulates named counters and stage timings for one run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._seconds: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+
+    # -- counters ---------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def count(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    # -- timers -----------------------------------------------------------
+
+    def timer(self, name: str) -> _Timer:
+        """``with registry.timer("stage"): ...`` charges the block."""
+        return _Timer(self, name)
+
+    def add_seconds(self, name: str, seconds: float, calls: int = 1) -> None:
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self._calls[name] = self._calls.get(name, 0) + calls
+
+    def seconds(self, name: str) -> float:
+        return self._seconds.get(name, 0.0)
+
+    def calls(self, name: str) -> int:
+        return self._calls.get(name, 0)
+
+    def stages(self) -> Iterator[Tuple[str, float, int]]:
+        """(name, seconds, calls) per stage, hottest first."""
+        for name in sorted(
+            self._seconds, key=self._seconds.__getitem__, reverse=True
+        ):
+            yield name, self._seconds[name], self._calls[name]
+
+    # -- aggregation ------------------------------------------------------
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Plain ``{stage: seconds}`` mapping (sweep-stats payload)."""
+        return dict(self._seconds)
+
+    def merge(self, other: "CounterRegistry") -> None:
+        """Fold another registry's counters and timings into this one."""
+        for name, amount in other._counters.items():
+            self.incr(name, amount)
+        for name, seconds in other._seconds.items():
+            self.add_seconds(name, seconds, other._calls.get(name, 0))
+
+    def merge_seconds(self, stage_seconds: Mapping[str, float]) -> None:
+        """Fold a plain ``{stage: seconds}`` mapping (one call each)."""
+        for name, seconds in stage_seconds.items():
+            self.add_seconds(name, seconds)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "counters": dict(self._counters),
+            "timers": {
+                name: {
+                    "seconds": self._seconds[name],
+                    "calls": self._calls.get(name, 0),
+                }
+                for name in self._seconds
+            },
+        }
+
+    def format_table(self) -> str:
+        """Fixed-width hot-stage breakdown for CLI output."""
+        total = sum(self._seconds.values())
+        lines = [f"{'stage':24s} {'seconds':>10s} {'calls':>8s} {'share':>7s}"]
+        for name, seconds, calls in self.stages():
+            share = seconds / total if total > 0 else 0.0
+            lines.append(
+                f"{name:24s} {seconds:10.4f} {calls:8d} {share:6.1%}"
+            )
+        for name in sorted(self._counters):
+            lines.append(
+                f"{name:24s} {'-':>10s} {self._counters[name]:8d} {'-':>7s}"
+            )
+        return "\n".join(lines)

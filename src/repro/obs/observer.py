@@ -1,0 +1,118 @@
+"""The slot-observer protocol: structured events from a running switch.
+
+PR 2 made the simulation core fast but opaque: victim selection flows
+through incremental aggregate orderings whose only audit is the opt-in
+invariant sweep. The observer protocol restores packet-level visibility
+without giving it back in speed: a switch carries a *nullable observer
+slot*, and with the slot empty the engine pays exactly one ``is None``
+check per arrival (fenced by ``benchmarks/test_fastpath_perf.py``).
+
+Design rules
+------------
+* **Observers are read-only.** Hooks never receive live engine objects —
+  packets are delivered as frozen :class:`PacketEvent` snapshots and all
+  other arguments are scalars. An observer that tries to assign to an
+  event raises ``dataclasses.FrozenInstanceError``; there is simply no
+  handle through which a hook can perturb the simulation. The
+  differential suite (``tests/test_obs_noop.py``) checks both halves:
+  attached-vs-detached runs are decision-identical, and mutation
+  attempts raise.
+* **Every observable state change has a hook.** The event vocabulary is
+  exactly the model's: slot framing, arrivals, decisions, push-outs,
+  transmissions, flushes, and idle fast-forwards (which are *explicit*
+  events, so a recorded trace never silently skips slots).
+
+:class:`SlotObserver` is both the protocol and a no-op base class;
+concrete observers (:class:`~repro.obs.trace_io.JsonlTraceWriter`,
+collectors in tests) override only the hooks they care about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.packet import Packet
+
+
+@dataclass(frozen=True, slots=True)
+class PacketEvent:
+    """An immutable snapshot of one packet at observation time.
+
+    Field names mirror :class:`~repro.core.packet.Packet` on purpose:
+    the replay layer feeds these objects straight back into
+    :class:`~repro.core.metrics.SwitchMetrics` recording hooks, which
+    only read ``port`` / ``value`` / ``arrival_slot``.
+    """
+
+    port: int
+    work: int
+    value: float
+    arrival_slot: int
+    seq: int
+    residual: int
+
+    @classmethod
+    def of(cls, packet: Packet) -> "PacketEvent":
+        return cls(
+            port=packet.port,
+            work=packet.work,
+            value=packet.value,
+            arrival_slot=packet.arrival_slot,
+            seq=packet.seq,
+            residual=packet.residual,
+        )
+
+
+class SlotObserver:
+    """Per-slot event hooks; the default implementation observes nothing.
+
+    Hook order within one slot is fixed by the engine:
+
+    ``on_slot_begin`` → (``on_arrival`` → [``on_push_out``] →
+    ``on_decision``)* → ``on_transmit``* → ``on_slot_end``.
+
+    ``on_flush`` fires between slots when the driver clears the buffer;
+    ``on_idle`` replaces the whole begin/end framing for fast-forwarded
+    empty-buffer stretches.
+    """
+
+    __slots__ = ()
+
+    def on_slot_begin(self, slot: int, n_arrivals: int) -> None:
+        """A slot's arrival phase is about to start."""
+
+    def on_arrival(self, slot: int, packet: PacketEvent) -> None:
+        """A packet was offered to the admission policy."""
+
+    def on_decision(
+        self, slot: int, action: str, victim_port: Optional[int]
+    ) -> None:
+        """The policy's verdict for the most recent arrival.
+
+        ``action`` is the :class:`~repro.core.decisions.Action` value
+        string (``accept`` / ``drop`` / ``push_out``).
+        """
+
+    def on_push_out(self, slot: int, victim: PacketEvent) -> None:
+        """A buffered packet was evicted to make room for an arrival.
+
+        Fires *before* the matching ``on_decision`` (the eviction is part
+        of executing the decision), with the victim's residual work as it
+        stood at eviction time.
+        """
+
+    def on_transmit(self, slot: int, packet: PacketEvent) -> None:
+        """A packet completed its work and left the switch."""
+
+    def on_flush(
+        self, slot: int, dropped: Tuple[PacketEvent, ...]
+    ) -> None:
+        """A flushout cleared the buffer; ``dropped`` earned no credit."""
+
+    def on_idle(self, slot: int, n_slots: int) -> None:
+        """``n_slots`` empty-buffer slots starting at ``slot`` were
+        fast-forwarded in one step (no per-slot framing is emitted)."""
+
+    def on_slot_end(self, slot: int, occupancy: int) -> None:
+        """The slot finished with ``occupancy`` packets still buffered."""

@@ -1,0 +1,466 @@
+"""Trace replay: re-derive run metrics from a recorded event stream.
+
+The replayer is the verification half of the observability layer. It
+reads a JSONL event trace (see :mod:`repro.obs.trace_io`), rebuilds a
+:class:`~repro.core.metrics.SwitchMetrics` *purely from the events* —
+by feeding reconstructed packet snapshots through the exact same
+``record_*`` hooks the live engine uses, in the exact same order, so
+float accumulation is bit-identical — and checks conservation laws as
+it goes:
+
+* **Slot framing** — ``slot`` / ``slot_end`` / ``idle`` frames advance a
+  replayed clock consistently; every ``slot_end``'s recorded occupancy
+  must equal the occupancy implied by the event stream, and it must
+  never exceed the header's buffer size.
+* **Decision pairing** — every ``dec`` follows exactly one ``arr``; a
+  ``push_out`` decision is preceded by exactly one ``push`` event.
+* **Packet conservation** — ``arrived = accepted + dropped`` and
+  ``accepted = transmitted + pushed_out + flushed + final backlog``,
+  both in total and per port.
+* **Value conservation** — per-port buffered value implied by the
+  stream never goes negative, and the per-port transmitted-value totals
+  sum to the scalar total.
+
+When the trace carries an ``end`` footer with the live run's metrics
+snapshot, :meth:`ReplayResult.verify` additionally asserts the replayed
+metrics are byte-equal to the recorded ones — turning every recorded
+run into a self-checking artifact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.core.errors import TraceError
+from repro.core.metrics import SwitchMetrics
+from repro.obs.observer import PacketEvent
+from repro.obs.trace_io import read_events
+
+
+class ConservationError(TraceError):
+    """A recorded trace violates a conservation law or framing rule."""
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one event trace."""
+
+    header: Dict[str, object]
+    metrics: SwitchMetrics
+    recorded: Optional[SwitchMetrics]
+    n_events: int
+    n_slots: int
+    final_backlog: int
+    backlog_by_port: List[int]
+
+    @property
+    def has_footer(self) -> bool:
+        return self.recorded is not None
+
+    @property
+    def matches_recorded(self) -> bool:
+        """Whether the replayed metrics equal the footer snapshot
+        (vacuously ``False`` when the trace has no footer)."""
+        return self.recorded is not None and self.metrics == self.recorded
+
+    def verify(self) -> None:
+        """Raise :class:`ConservationError` unless the replayed metrics
+        are byte-equal to the footer snapshot."""
+        if self.recorded is None:
+            raise ConservationError(
+                "trace has no end-of-run metrics footer to verify against"
+            )
+        if self.metrics != self.recorded:
+            diffs = _diff_metrics(self.metrics, self.recorded)
+            raise ConservationError(
+                "replayed metrics differ from recorded run: " + diffs
+            )
+
+    def summary(self) -> str:
+        m = self.metrics
+        status = (
+            "verified" if self.matches_recorded
+            else ("no footer" if self.recorded is None else "MISMATCH")
+        )
+        return (
+            f"{self.n_events} events, {m.slots_elapsed} slots, "
+            f"{m.arrived} arrivals -> {m.transmitted_packets} transmitted "
+            f"(value {m.transmitted_value:g}), {m.dropped} dropped, "
+            f"{m.pushed_out} pushed out, {m.flushed} flushed, "
+            f"backlog {self.final_backlog} [{status}]"
+        )
+
+
+def _diff_metrics(replayed: SwitchMetrics, recorded: SwitchMetrics) -> str:
+    fields = (
+        "n_ports arrived accepted dropped pushed_out flushed "
+        "transmitted_packets transmitted_value slots_elapsed "
+        "occupancy_integral occupancy_peak transmitted_by_port "
+        "transmitted_value_by_port dropped_by_port delay_sum_by_port "
+        "delay_count_by_port"
+    ).split()
+    diffs = [
+        f"{name}: replayed={getattr(replayed, name)!r} "
+        f"recorded={getattr(recorded, name)!r}"
+        for name in fields
+        if getattr(replayed, name) != getattr(recorded, name)
+    ]
+    return "; ".join(diffs) if diffs else "(no field differs?)"
+
+
+class TraceReplayer:
+    """Replays one event trace; see the module docstring for the laws."""
+
+    def replay(self, source: Union[str, "object"]) -> ReplayResult:
+        return self.replay_events(read_events(source))
+
+    def replay_events(
+        self, events: Iterable[Dict[str, object]]
+    ) -> ReplayResult:
+        header: Optional[Dict[str, object]] = None
+        metrics: Optional[SwitchMetrics] = None
+        recorded: Optional[SwitchMetrics] = None
+        buffer_size: Optional[int] = None
+        n_ports = 0
+
+        occupancy = 0
+        clock: Optional[int] = None  # next expected slot number
+        in_slot = False
+        ended = False
+        n_events = 0
+        n_slots = 0
+
+        pending_arrival: Optional[PacketEvent] = None
+        pending_push: Optional[PacketEvent] = None
+
+        backlog_by_port: List[int] = []
+        backlog_value: List[float] = []
+        accepted_by_port: List[int] = []
+        tx_by_port: List[int] = []
+        pushed_by_port: List[int] = []
+        flushed_by_port: List[int] = []
+        dropped_arrivals_by_port: List[int] = []
+
+        def fail(message: str) -> "ConservationError":
+            return ConservationError(
+                f"event {n_events}"
+                + (f" (slot {clock})" if clock is not None else "")
+                + f": {message}"
+            )
+
+        for event in events:
+            n_events += 1
+            kind = event["t"]
+
+            if kind == "header":
+                header = dict(event)
+                if "n_ports" not in header:
+                    raise fail("header lacks n_ports; cannot replay")
+                n_ports = int(header["n_ports"])  # type: ignore[arg-type]
+                if n_ports < 1:
+                    raise fail(f"header n_ports {n_ports} invalid")
+                raw_b = header.get("buffer_size")
+                buffer_size = int(raw_b) if raw_b is not None else None
+                metrics = SwitchMetrics(n_ports=n_ports)
+                backlog_by_port = [0] * n_ports
+                backlog_value = [0.0] * n_ports
+                accepted_by_port = [0] * n_ports
+                tx_by_port = [0] * n_ports
+                pushed_by_port = [0] * n_ports
+                flushed_by_port = [0] * n_ports
+                dropped_arrivals_by_port = [0] * n_ports
+                continue
+
+            assert metrics is not None  # read_events guarantees a header
+            if ended:
+                raise fail(f"event {kind!r} after end-of-trace footer")
+            slot = event.get("slot")
+
+            if kind == "slot":
+                if in_slot:
+                    raise fail("slot frame opened inside another slot")
+                if clock is None:
+                    clock = int(slot)  # type: ignore[arg-type]
+                elif slot != clock:
+                    raise fail(f"slot frame {slot} != expected {clock}")
+                in_slot = True
+                continue
+
+            if kind == "arr":
+                if not in_slot:
+                    raise fail("arrival outside a slot frame")
+                if pending_arrival is not None:
+                    raise fail("arrival while a decision is still pending")
+                port = int(event["port"])  # type: ignore[arg-type]
+                if not 0 <= port < n_ports:
+                    raise fail(f"arrival port {port} out of range")
+                pending_arrival = PacketEvent(
+                    port=port,
+                    work=int(event.get("work", 1)),  # type: ignore[arg-type]
+                    value=float(event["value"]),  # type: ignore[arg-type]
+                    arrival_slot=int(event["aslot"]),  # type: ignore[arg-type]
+                    seq=-1,
+                    residual=0,
+                )
+                metrics.record_arrival(pending_arrival)
+                continue
+
+            if kind == "push":
+                if pending_arrival is None:
+                    raise fail("push-out with no arrival pending")
+                if pending_push is not None:
+                    raise fail("two push-outs for one arrival")
+                port = int(event["port"])  # type: ignore[arg-type]
+                if not 0 <= port < n_ports:
+                    raise fail(f"push-out victim port {port} out of range")
+                if backlog_by_port[port] < 1:
+                    raise fail(f"push-out from empty replayed queue {port}")
+                pending_push = PacketEvent(
+                    port=port,
+                    work=1,
+                    value=float(event["value"]),  # type: ignore[arg-type]
+                    arrival_slot=0,
+                    seq=-1,
+                    residual=int(event.get("residual", 1)),  # type: ignore[arg-type]
+                )
+                continue
+
+            if kind == "dec":
+                if pending_arrival is None:
+                    raise fail("decision with no arrival pending")
+                action = event["action"]
+                if action == "push_out":
+                    if pending_push is None:
+                        raise fail("push_out decision without a push event")
+                    metrics.record_push_out(pending_push)
+                    occupancy -= 1
+                    backlog_by_port[pending_push.port] -= 1
+                    backlog_value[pending_push.port] -= pending_push.value
+                    if backlog_value[pending_push.port] < -1e-9:
+                        raise fail(
+                            f"queue {pending_push.port} value went negative"
+                        )
+                    pushed_by_port[pending_push.port] += 1
+                elif pending_push is not None:
+                    raise fail(f"push event before a {action!r} decision")
+
+                if action == "drop":
+                    metrics.record_drop(pending_arrival)
+                    dropped_arrivals_by_port[pending_arrival.port] += 1
+                elif action in ("accept", "push_out"):
+                    metrics.record_accept(pending_arrival)
+                    occupancy += 1
+                    if buffer_size is not None and occupancy > buffer_size:
+                        raise fail(
+                            f"occupancy {occupancy} exceeds buffer "
+                            f"size {buffer_size}"
+                        )
+                    backlog_by_port[pending_arrival.port] += 1
+                    backlog_value[pending_arrival.port] += (
+                        pending_arrival.value
+                    )
+                    accepted_by_port[pending_arrival.port] += 1
+                else:
+                    raise fail(f"unknown decision action {action!r}")
+                pending_arrival = None
+                pending_push = None
+                continue
+
+            if pending_arrival is not None:
+                raise fail(f"event {kind!r} while a decision is pending")
+
+            if kind == "tx":
+                if not in_slot:
+                    raise fail("transmission outside a slot frame")
+                port = int(event["port"])  # type: ignore[arg-type]
+                if not 0 <= port < n_ports:
+                    raise fail(f"transmit port {port} out of range")
+                if backlog_by_port[port] < 1:
+                    raise fail(f"transmit from empty replayed queue {port}")
+                packet = PacketEvent(
+                    port=port,
+                    work=1,
+                    value=float(event["value"]),  # type: ignore[arg-type]
+                    arrival_slot=int(event["aslot"]),  # type: ignore[arg-type]
+                    seq=-1,
+                    residual=0,
+                )
+                metrics.record_transmissions((packet,), slot=int(slot))  # type: ignore[arg-type]
+                occupancy -= 1
+                backlog_by_port[port] -= 1
+                backlog_value[port] -= packet.value
+                if backlog_value[port] < -1e-9:
+                    raise fail(f"queue {port} value went negative")
+                tx_by_port[port] += 1
+                continue
+
+            if kind == "slot_end":
+                if not in_slot:
+                    raise fail("slot_end without a matching slot frame")
+                if slot != clock:
+                    raise fail(f"slot_end {slot} != expected {clock}")
+                recorded_occ = int(event["occ"])  # type: ignore[arg-type]
+                if recorded_occ != occupancy:
+                    raise fail(
+                        f"recorded occupancy {recorded_occ} != replayed "
+                        f"{occupancy} (conservation violated)"
+                    )
+                metrics.record_slot(occupancy)
+                in_slot = False
+                clock += 1  # type: ignore[operator]
+                n_slots += 1
+                continue
+
+            if kind == "idle":
+                if in_slot:
+                    raise fail("idle frame inside a slot")
+                if occupancy != 0:
+                    raise fail(
+                        f"idle frame with non-empty buffer ({occupancy})"
+                    )
+                if clock is not None and slot != clock:
+                    raise fail(f"idle frame at {slot} != expected {clock}")
+                n = int(event["n"])  # type: ignore[arg-type]
+                if n < 0:
+                    raise fail(f"idle frame of negative length {n}")
+                metrics.record_idle_slots(n)
+                clock = (int(slot) if clock is None else clock) + n  # type: ignore[arg-type]
+                n_slots += n
+                continue
+
+            if kind == "flush":
+                if in_slot:
+                    raise fail("flush inside a slot frame")
+                count = int(event["count"])  # type: ignore[arg-type]
+                if count != occupancy:
+                    raise fail(
+                        f"flush of {count} packets but replayed "
+                        f"occupancy is {occupancy}"
+                    )
+                ports = event.get("ports", [])
+                if sum(ports) != count:  # type: ignore[arg-type]
+                    raise fail("flush per-port counts do not sum to count")
+                for port, flushed in enumerate(ports):  # type: ignore[arg-type]
+                    if flushed > backlog_by_port[port]:
+                        raise fail(
+                            f"flush of {flushed} packets from queue {port} "
+                            f"holding {backlog_by_port[port]}"
+                        )
+                    flushed_by_port[port] += flushed
+                    backlog_by_port[port] -= flushed
+                    backlog_value[port] = 0.0
+                metrics.record_flush(range(count))
+                occupancy = 0
+                continue
+
+            if kind == "end":
+                ended = True
+                snapshot = event.get("metrics")
+                if snapshot is not None:
+                    recorded = SwitchMetrics.from_snapshot(snapshot)  # type: ignore[arg-type]
+                continue
+
+            raise fail(f"unknown event type {kind!r}")
+
+        if metrics is None:
+            raise ConservationError("trace has no header")
+        if in_slot:
+            raise ConservationError("trace ends inside an open slot frame")
+        if pending_arrival is not None:
+            raise ConservationError("trace ends with an undecided arrival")
+
+        self._check_conservation(
+            metrics,
+            occupancy,
+            backlog_by_port,
+            accepted_by_port,
+            tx_by_port,
+            pushed_by_port,
+            flushed_by_port,
+            dropped_arrivals_by_port,
+        )
+        return ReplayResult(
+            header=header or {},
+            metrics=metrics,
+            recorded=recorded,
+            n_events=n_events,
+            n_slots=n_slots,
+            final_backlog=occupancy,
+            backlog_by_port=backlog_by_port,
+        )
+
+    @staticmethod
+    def _check_conservation(
+        metrics: SwitchMetrics,
+        occupancy: int,
+        backlog_by_port: List[int],
+        accepted_by_port: List[int],
+        tx_by_port: List[int],
+        pushed_by_port: List[int],
+        flushed_by_port: List[int],
+        dropped_arrivals_by_port: List[int],
+    ) -> None:
+        if metrics.arrived != metrics.accepted + metrics.dropped:
+            raise ConservationError(
+                f"arrived {metrics.arrived} != accepted {metrics.accepted} "
+                f"+ dropped {metrics.dropped}"
+            )
+        outflow = (
+            metrics.transmitted_packets
+            + metrics.pushed_out
+            + metrics.flushed
+            + occupancy
+        )
+        if metrics.accepted != outflow:
+            raise ConservationError(
+                f"accepted {metrics.accepted} != transmitted "
+                f"{metrics.transmitted_packets} + pushed_out "
+                f"{metrics.pushed_out} + flushed {metrics.flushed} "
+                f"+ backlog {occupancy}"
+            )
+        for port in range(metrics.n_ports):
+            expected = (
+                tx_by_port[port]
+                + pushed_by_port[port]
+                + flushed_by_port[port]
+                + backlog_by_port[port]
+            )
+            if accepted_by_port[port] != expected:
+                raise ConservationError(
+                    f"port {port}: accepted {accepted_by_port[port]} != "
+                    f"tx {tx_by_port[port]} + pushed {pushed_by_port[port]} "
+                    f"+ flushed {flushed_by_port[port]} + backlog "
+                    f"{backlog_by_port[port]}"
+                )
+            drops = dropped_arrivals_by_port[port] + pushed_by_port[port]
+            if metrics.dropped_by_port[port] != drops:
+                raise ConservationError(
+                    f"port {port}: dropped_by_port "
+                    f"{metrics.dropped_by_port[port]} != dropped arrivals "
+                    f"{dropped_arrivals_by_port[port]} + push-out victims "
+                    f"{pushed_by_port[port]}"
+                )
+            if metrics.transmitted_by_port[port] != tx_by_port[port]:
+                raise ConservationError(
+                    f"port {port}: transmitted_by_port "
+                    f"{metrics.transmitted_by_port[port]} != replayed "
+                    f"{tx_by_port[port]}"
+                )
+        per_port_total = math.fsum(metrics.transmitted_value_by_port)
+        if not math.isclose(
+            per_port_total,
+            metrics.transmitted_value,
+            rel_tol=1e-9,
+            abs_tol=1e-9,
+        ):
+            raise ConservationError(
+                f"per-port transmitted value {per_port_total!r} != total "
+                f"{metrics.transmitted_value!r}"
+            )
+
+
+def replay_trace(source) -> ReplayResult:
+    """One-call façade: replay ``source`` and return the result."""
+    return TraceReplayer().replay(source)

@@ -1,0 +1,280 @@
+"""JSONL event traces: the serialized form of the observer stream.
+
+A recorded run is a text file of one JSON object per line (schema
+version :data:`EVENT_SCHEMA_VERSION`; the full grammar is documented in
+``docs/OBSERVABILITY.md``). The stream is framed per slot:
+
+``header`` → (``slot`` … events … ``slot_end`` | ``idle`` | ``flush``)*
+→ ``end``
+
+* ``header`` carries the schema version, the switch configuration
+  digest (ports, buffer size, speedup, discipline) and free-form
+  context (panel name, policy, seed).
+* ``slot`` / ``slot_end`` frame one simulated slot; ``arr`` / ``dec`` /
+  ``push`` / ``tx`` lines appear between them in engine order.
+* ``idle`` records a fast-forwarded empty-buffer stretch *explicitly* —
+  a trace never silently skips slots, so replay can account for every
+  slot of the clock.
+* ``end`` closes the stream and embeds the live
+  :meth:`~repro.core.metrics.SwitchMetrics.snapshot` of the recording
+  run, which is what makes every trace a self-checking artifact: the
+  replayer re-derives metrics from the events alone and compares
+  byte-for-byte (see :mod:`repro.obs.replay`).
+
+Floats are serialized with :func:`json.dumps`, whose ``repr``-based
+formatting round-trips exactly — byte-equality of replayed metrics is
+therefore a meaningful contract, not an approximation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import (
+    IO,
+    Dict,
+    Iterator,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.core.errors import TraceError
+from repro.core.metrics import SwitchMetrics
+from repro.obs.observer import PacketEvent, SlotObserver
+
+#: Version of the JSONL event grammar; bumped on incompatible changes.
+EVENT_SCHEMA_VERSION = 1
+
+_Sink = Union[str, Path, IO[str]]
+
+
+def _dumps(obj: Mapping[str, object]) -> str:
+    return json.dumps(obj, separators=(",", ":"))
+
+
+class JsonlTraceWriter(SlotObserver):
+    """A :class:`SlotObserver` that streams events to a JSONL sink.
+
+    ``sink`` may be a path (opened and owned by the writer) or any
+    text-mode file object (ownership stays with the caller). The header
+    line is written on construction; call :meth:`write_end` (or use the
+    writer as a context manager around a run and call it before exit)
+    to close the stream with the recording run's metrics snapshot.
+    """
+
+    def __init__(
+        self,
+        sink: _Sink,
+        *,
+        header: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        if isinstance(sink, (str, Path)):
+            self._handle: IO[str] = Path(sink).open("w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = sink
+            self._owns_handle = False
+        self._closed = False
+        self.events_written = 0
+        head: Dict[str, object] = {
+            "t": "header",
+            "schema": EVENT_SCHEMA_VERSION,
+        }
+        if header:
+            head.update(header)
+        self._write(head)
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _write(self, obj: Mapping[str, object]) -> None:
+        self._handle.write(_dumps(obj) + "\n")
+        self.events_written += 1
+
+    def write_end(self, metrics: Optional[SwitchMetrics] = None) -> None:
+        """Write the ``end`` line (with the live metrics snapshot when
+        given) and close the stream; idempotent."""
+        if self._closed:
+            return
+        tail: Dict[str, object] = {"t": "end"}
+        if metrics is not None:
+            tail["metrics"] = metrics.snapshot()
+        self._write(tail)
+        self.close()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            if self._owns_handle:
+                self._handle.close()
+            else:
+                self._handle.flush()
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    # -- observer hooks ---------------------------------------------------
+
+    def on_slot_begin(self, slot: int, n_arrivals: int) -> None:
+        self._write({"t": "slot", "slot": slot, "arrivals": n_arrivals})
+
+    def on_arrival(self, slot: int, packet: PacketEvent) -> None:
+        self._write(
+            {
+                "t": "arr",
+                "slot": slot,
+                "port": packet.port,
+                "work": packet.work,
+                "value": packet.value,
+                "aslot": packet.arrival_slot,
+            }
+        )
+
+    def on_decision(
+        self, slot: int, action: str, victim_port: Optional[int]
+    ) -> None:
+        line: Dict[str, object] = {"t": "dec", "slot": slot, "action": action}
+        if victim_port is not None:
+            line["victim"] = victim_port
+        self._write(line)
+
+    def on_push_out(self, slot: int, victim: PacketEvent) -> None:
+        self._write(
+            {
+                "t": "push",
+                "slot": slot,
+                "port": victim.port,
+                "value": victim.value,
+                "residual": victim.residual,
+            }
+        )
+
+    def on_transmit(self, slot: int, packet: PacketEvent) -> None:
+        self._write(
+            {
+                "t": "tx",
+                "slot": slot,
+                "port": packet.port,
+                "value": packet.value,
+                "aslot": packet.arrival_slot,
+            }
+        )
+
+    def on_flush(
+        self, slot: int, dropped: Tuple[PacketEvent, ...]
+    ) -> None:
+        ports = [0] * (max((p.port for p in dropped), default=-1) + 1)
+        for packet in dropped:
+            ports[packet.port] += 1
+        self._write(
+            {"t": "flush", "slot": slot, "count": len(dropped), "ports": ports}
+        )
+
+    def on_idle(self, slot: int, n_slots: int) -> None:
+        self._write({"t": "idle", "slot": slot, "n": n_slots})
+
+    def on_slot_end(self, slot: int, occupancy: int) -> None:
+        self._write({"t": "slot_end", "slot": slot, "occ": occupancy})
+
+
+def read_events(source: _Sink) -> Iterator[Dict[str, object]]:
+    """Yield event dicts from a JSONL trace, validating basic shape.
+
+    Raises :class:`~repro.core.errors.TraceError` on malformed lines,
+    missing/duplicate headers, or an unsupported schema version.
+    """
+    if isinstance(source, (str, Path)):
+        handle: IO[str] = Path(source).open("r", encoding="utf-8")
+        owns = True
+    else:
+        handle = source
+        owns = False
+    try:
+        saw_header = False
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(
+                    f"bad event-trace line {lineno}: {exc}"
+                ) from exc
+            if not isinstance(event, dict) or "t" not in event:
+                raise TraceError(
+                    f"event-trace line {lineno} is not an event object"
+                )
+            if event["t"] == "header":
+                if saw_header:
+                    raise TraceError(
+                        f"duplicate header at line {lineno}"
+                    )
+                saw_header = True
+                schema = event.get("schema")
+                if schema != EVENT_SCHEMA_VERSION:
+                    raise TraceError(
+                        f"event trace has schema {schema!r}, this reader "
+                        f"supports {EVENT_SCHEMA_VERSION}"
+                    )
+            elif not saw_header:
+                raise TraceError(
+                    "event trace does not start with a header line"
+                )
+            yield event
+        if not saw_header:
+            raise TraceError("event trace is empty (no header line)")
+    finally:
+        if owns:
+            handle.close()
+
+
+def record_trace(
+    policy,
+    trace,
+    config,
+    sink: _Sink,
+    *,
+    flush_every: Optional[int] = None,
+    drain_slots: int = 0,
+    fast_path: bool = True,
+    header: Optional[Mapping[str, object]] = None,
+) -> SwitchMetrics:
+    """Run ``policy`` over ``trace`` while recording a JSONL event trace.
+
+    Convenience glue used by ``repro trace`` and the replay test suite:
+    builds a :class:`~repro.analysis.competitive.PolicySystem` with the
+    writer attached, drives it through
+    :func:`~repro.analysis.competitive.run_system`, and closes the
+    stream with the live metrics snapshot. Returns the live metrics so
+    callers can compare against the replayed reconstruction.
+    """
+    from repro.analysis.competitive import PolicySystem, run_system
+
+    head: Dict[str, object] = {
+        "policy": getattr(policy, "name", type(policy).__name__),
+        "n_ports": config.n_ports,
+        "buffer_size": config.buffer_size,
+        "speedup": config.speedup,
+        "discipline": config.discipline.value,
+    }
+    if header:
+        head.update(header)
+    writer = JsonlTraceWriter(sink, header=head)
+    try:
+        system = PolicySystem(config, policy, fast_path=fast_path)
+        metrics = run_system(
+            system,
+            trace,
+            flush_every=flush_every,
+            drain_slots=drain_slots,
+            observer=writer,
+        )
+        writer.write_end(metrics)
+    finally:
+        writer.close()
+    return metrics

@@ -1,9 +1,14 @@
 """Tests for the metrics counters."""
 
+import json
+
 import pytest
 
+from repro.core.config import SwitchConfig
 from repro.core.metrics import SwitchMetrics
 from repro.core.packet import Packet
+from repro.core.switch import SharedMemorySwitch
+from repro.policies import make_policy
 
 
 def pkt(port=0, work=1, value=1.0):
@@ -80,3 +85,96 @@ class TestDerived:
             metrics.record_arrival(pkt())
         metrics.record_drop(pkt())
         assert metrics.loss_rate == pytest.approx(0.25)
+
+
+class TestSnapshot:
+    """Flat export / rebuild used by trace footers and replay checks."""
+
+    def _populated(self):
+        metrics = SwitchMetrics(n_ports=2)
+        for _ in range(3):
+            metrics.record_arrival(pkt(0, value=2.5))
+        metrics.record_arrival(pkt(1, value=4.0))
+        metrics.record_drop(pkt(1, value=4.0))
+        metrics.record_push_out(pkt(0, value=2.5))
+        metrics.record_transmissions([pkt(0, value=2.5), pkt(1, value=4.0)])
+        metrics.record_flush([pkt(0, value=2.5)])
+        metrics.record_slot(3)
+        metrics.record_slot(1)
+        metrics.record_idle_slots(5)
+        return metrics
+
+    def test_snapshot_is_flat_and_complete(self):
+        snapshot = self._populated().snapshot()
+        for key, value in snapshot.items():
+            assert isinstance(value, (int, float, list)), key
+        assert snapshot["slots_elapsed"] == 7
+        assert snapshot["occupancy_integral"] == 4
+        assert snapshot["n_ports"] == 2
+
+    def test_snapshot_round_trip_equality(self):
+        metrics = self._populated()
+        assert SwitchMetrics.from_snapshot(metrics.snapshot()) == metrics
+
+    def test_snapshot_survives_json(self):
+        metrics = self._populated()
+        data = json.loads(json.dumps(metrics.snapshot()))
+        assert SwitchMetrics.from_snapshot(data) == metrics
+
+    def test_from_snapshot_rejects_wrong_port_count(self):
+        snapshot = self._populated().snapshot()
+        snapshot["transmitted_by_port"] = [1]
+        with pytest.raises(ValueError):
+            SwitchMetrics.from_snapshot(snapshot)
+
+
+class TestFastForwardEquivalence:
+    """Regression: `fast_forward` must be byte-identical to running the
+    idle slots one at a time — clock, occupancy integral, and peak."""
+
+    def _traffic(self, slot):
+        # Bursts separated by long idle gaps; buffer drains in between.
+        if slot in (0, 20):
+            # contiguous(4, 12) pins per-port works 1..4 (FIFO model)
+            return [pkt(0, work=1), pkt(1, work=2), pkt(2, work=3)]
+        return []
+
+    def test_fast_forward_matches_slot_by_slot(self):
+        config = SwitchConfig.contiguous(4, 12)
+        policy = make_policy("LQD")
+        n_slots = 40
+
+        stepped = SharedMemorySwitch(config)
+        for slot in range(n_slots):
+            stepped.run_slot(self._traffic(slot), policy)
+
+        jumped = SharedMemorySwitch(config)
+        slot = 0
+        while slot < n_slots:
+            arrivals = self._traffic(slot)
+            if not arrivals and jumped.occupancy == 0:
+                gap = 1
+                while slot + gap < n_slots and not self._traffic(slot + gap):
+                    gap += 1
+                jumped.fast_forward(gap)
+                slot += gap
+                continue
+            jumped.run_slot(arrivals, policy)
+            slot += 1
+
+        assert jumped.metrics == stepped.metrics
+        assert jumped.metrics.slots_elapsed == n_slots
+        assert (
+            jumped.metrics.occupancy_integral
+            == stepped.metrics.occupancy_integral
+        )
+        assert jumped.current_slot == stepped.current_slot == n_slots
+
+    def test_fast_forward_requires_empty_buffer(self):
+        config = SwitchConfig.contiguous(2, 4)
+        switch = SharedMemorySwitch(config)
+        switch.arrival_phase([pkt(1, work=2)], make_policy("LQD"))
+        from repro.core.errors import PolicyError
+
+        with pytest.raises(PolicyError):
+            switch.fast_forward(3)

@@ -1,0 +1,294 @@
+"""Property-based trace-replay verification (hypothesis).
+
+The observability contract: recording a run as a JSONL event stream and
+replaying it must re-derive *byte-equal* metrics — every counter,
+per-port list, and float accumulation identical to the live
+:class:`~repro.core.metrics.SwitchMetrics` — for random scenarios across
+all registered policies in both models, including runs with
+``fast_forward``-able idle stretches and mid-run flushouts. The
+replayer's conservation laws must hold on every recorded stream, and
+must *fail* on tampered streams (a verifier that cannot reject a broken
+trace verifies nothing).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SwitchConfig
+from repro.core.metrics import SwitchMetrics
+from repro.core.packet import Packet
+from repro.obs import (
+    ConservationError,
+    JsonlTraceWriter,
+    record_trace,
+    replay_trace,
+)
+from repro.policies import available_policies, make_policy
+from repro.traffic.trace import Trace
+
+PROCESSING_POLICIES = sorted(
+    entry.name
+    for entry in available_policies()
+    if "processing" in entry.models
+)
+VALUE_POLICIES = sorted(
+    entry.name for entry in available_policies() if "value" in entry.models
+)
+
+REPLAY_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def processing_runs(draw):
+    """Config + legal random trace + run knobs, processing model."""
+    k = draw(st.integers(min_value=1, max_value=4))
+    buffer_size = draw(st.integers(min_value=k, max_value=16))
+    config = SwitchConfig.contiguous(k, buffer_size)
+    trace = _draw_trace(draw, config, value_model=False)
+    return config, trace, _draw_knobs(draw, config)
+
+
+@st.composite
+def value_runs(draw):
+    """Config + random trace + run knobs, value model."""
+    k = draw(st.integers(min_value=1, max_value=4))
+    buffer_size = draw(st.integers(min_value=k, max_value=16))
+    config = SwitchConfig.value_contiguous(k, buffer_size)
+    trace = _draw_trace(draw, config, value_model=True)
+    return config, trace, _draw_knobs(draw, config)
+
+
+def _draw_trace(draw, config: SwitchConfig, *, value_model: bool) -> Trace:
+    """A random trace with deliberate empty stretches so the driver's
+    idle fast-forward path is exercised, not just full slots."""
+    n_slots = draw(st.integers(min_value=1, max_value=14))
+    trace = Trace()
+    for slot in range(n_slots):
+        if draw(st.booleans()):  # ~half the slots are empty
+            trace.append_slot()
+            continue
+        burst = []
+        for port in draw(
+            st.lists(
+                st.integers(min_value=0, max_value=config.n_ports - 1),
+                min_size=0,
+                max_size=config.buffer_size + 2,
+            )
+        ):
+            if value_model:
+                value = float(draw(st.integers(min_value=1, max_value=9)))
+                burst.append(
+                    Packet(port=port, work=1, value=value, arrival_slot=slot)
+                )
+            else:
+                burst.append(
+                    Packet(
+                        port=port,
+                        work=config.work_of(port),
+                        value=config.values[port],
+                        arrival_slot=slot,
+                    )
+                )
+        trace.append_slot(burst)
+    # A tail of empty slots makes trailing idle fast-forwards common.
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        trace.append_slot()
+    return trace
+
+
+def _draw_knobs(draw, config: SwitchConfig):
+    flush_every = draw(
+        st.one_of(st.none(), st.integers(min_value=1, max_value=6))
+    )
+    drain_slots = draw(
+        st.sampled_from([0, config.buffer_size * config.max_work])
+    )
+    return flush_every, drain_slots
+
+
+def _assert_round_trip(policy_name, config, trace, flush_every, drain_slots):
+    buf = io.StringIO()
+    live = record_trace(
+        make_policy(policy_name),
+        trace,
+        config,
+        buf,
+        flush_every=flush_every,
+        drain_slots=drain_slots,
+        header={"case": "hypothesis"},
+    )
+    buf.seek(0)
+    result = replay_trace(buf)
+    # Byte-equal: dataclass equality covers every counter including the
+    # per-port lists and float-accumulated value totals.
+    assert result.metrics == live
+    assert result.recorded is not None and result.recorded == live
+    result.verify()
+    # The replay's own backlog bookkeeping closes the conservation loop.
+    assert result.final_backlog == (
+        live.accepted
+        - live.transmitted_packets
+        - live.pushed_out
+        - live.flushed
+    )
+    assert result.metrics.slots_elapsed == live.slots_elapsed
+
+
+@pytest.mark.parametrize("policy_name", PROCESSING_POLICIES)
+@REPLAY_SETTINGS
+@given(case=processing_runs())
+def test_replay_byte_equal_processing(policy_name, case):
+    config, trace, (flush_every, drain_slots) = case
+    _assert_round_trip(policy_name, config, trace, flush_every, drain_slots)
+
+
+@pytest.mark.parametrize("policy_name", VALUE_POLICIES)
+@REPLAY_SETTINGS
+@given(case=value_runs())
+def test_replay_byte_equal_value(policy_name, case):
+    config, trace, (flush_every, drain_slots) = case
+    _assert_round_trip(policy_name, config, trace, flush_every, drain_slots)
+
+
+# ----------------------------------------------------------------------
+# Deterministic edge cases the random sweep might miss
+# ----------------------------------------------------------------------
+
+
+def _record(policy_name, config, trace, **kwargs):
+    buf = io.StringIO()
+    live = record_trace(
+        make_policy(policy_name), trace, config, buf, **kwargs
+    )
+    return live, buf.getvalue()
+
+
+def test_idle_stretches_recorded_as_explicit_frames():
+    """Fast-forwarded stretches appear as ``idle`` events whose lengths
+    account for every skipped slot — traces never silently lose time."""
+    config = SwitchConfig.contiguous(3, 9)
+    trace = Trace()
+    trace.append_slot([Packet(port=0, work=1)])
+    for _ in range(12):
+        trace.append_slot()
+    trace.append_slot([Packet(port=2, work=3)])
+    for _ in range(7):
+        trace.append_slot()
+    live, text = _record("LQD", config, trace)
+    idles = [
+        json.loads(line)
+        for line in text.splitlines()
+        if json.loads(line)["t"] == "idle"
+    ]
+    assert idles, "expected explicit idle frames"
+    framed = text.count('"t":"slot_end"')
+    assert framed + sum(e["n"] for e in idles) == live.slots_elapsed == 21
+    result = replay_trace(io.StringIO(text))
+    assert result.metrics == live
+
+
+def test_mid_run_flush_round_trips():
+    config = SwitchConfig.value_contiguous(4, 8)
+    trace = Trace()
+    for slot in range(9):
+        trace.append_slot(
+            [
+                Packet(port=p, work=1, value=float(p + 1), arrival_slot=slot)
+                for p in range(4)
+                for _ in range(2)
+            ]
+        )
+    live, text = _record("MVD", config, trace, flush_every=3)
+    assert live.flushed > 0, "scenario must actually flush"
+    result = replay_trace(io.StringIO(text))
+    assert result.metrics == live
+    result.verify()
+
+
+def test_replay_detects_tampered_occupancy():
+    """Corrupting a recorded slot_end occupancy must fail conservation."""
+    config = SwitchConfig.contiguous(2, 6)
+    trace = Trace()
+    trace.append_slot([Packet(port=0, work=1), Packet(port=1, work=2)])
+    trace.append_slot([Packet(port=1, work=2)])
+    _live, text = _record("LQD", config, trace)
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        event = json.loads(line)
+        if event["t"] == "slot_end":
+            event["occ"] += 1
+            lines[i] = json.dumps(event, separators=(",", ":"))
+            break
+    with pytest.raises(ConservationError, match="occupancy"):
+        replay_trace(io.StringIO("\n".join(lines) + "\n"))
+
+
+def test_replay_detects_dropped_transmit_event():
+    """Deleting a tx event breaks both occupancy and the footer check."""
+    config = SwitchConfig.contiguous(2, 6)
+    trace = Trace()
+    trace.append_slot([Packet(port=0, work=1)])
+    trace.append_slot([])
+    _live, text = _record("LQD", config, trace)
+    lines = [
+        line
+        for line in text.splitlines()
+        if json.loads(line)["t"] != "tx"
+    ]
+    with pytest.raises(ConservationError):
+        replay_trace(io.StringIO("\n".join(lines) + "\n"))
+
+
+def test_replay_detects_forged_footer():
+    config = SwitchConfig.contiguous(2, 6)
+    trace = Trace()
+    trace.append_slot([Packet(port=0, work=1), Packet(port=0, work=1)])
+    _live, text = _record("LQD", config, trace)
+    lines = text.splitlines()
+    footer = json.loads(lines[-1])
+    assert footer["t"] == "end"
+    footer["metrics"]["transmitted_packets"] += 1
+    lines[-1] = json.dumps(footer, separators=(",", ":"))
+    result = replay_trace(io.StringIO("\n".join(lines) + "\n"))
+    assert not result.matches_recorded
+    with pytest.raises(ConservationError, match="differ"):
+        result.verify()
+
+
+def test_snapshot_round_trips_through_json():
+    """`SwitchMetrics.snapshot()` → JSON → `from_snapshot` is lossless."""
+    config = SwitchConfig.value_contiguous(3, 6)
+    trace = Trace()
+    for slot in range(5):
+        trace.append_slot(
+            [
+                Packet(port=p, work=1, value=1.5 * (p + 1), arrival_slot=slot)
+                for p in range(3)
+                for _ in range(3)
+            ]
+        )
+    live, _text = _record("MRD", config, trace, drain_slots=10)
+    snapshot = json.loads(json.dumps(live.snapshot()))
+    rebuilt = SwitchMetrics.from_snapshot(snapshot)
+    assert rebuilt == live
+
+
+def test_writer_requires_header_n_ports_for_replay():
+    buf = io.StringIO()
+    writer = JsonlTraceWriter(buf, header={"note": "no port count"})
+    writer.on_slot_begin(0, 0)
+    writer.on_slot_end(0, 0)
+    writer.write_end()
+    buf.seek(0)
+    with pytest.raises(ConservationError, match="n_ports"):
+        replay_trace(buf)
