@@ -42,7 +42,10 @@ from repro.core import (
     PortSpec,
     QueueDiscipline,
     ReproError,
+    ResilienceError,
     SharedMemorySwitch,
+    SweepExecutionError,
+    SweepInterrupted,
     SwitchConfig,
     SwitchMetrics,
     SwitchView,
@@ -75,6 +78,13 @@ from repro.policies import (
     available_policies,
     make_policy,
 )
+from repro.resilience import (
+    FaultInjector,
+    InjectedFault,
+    ResilienceStats,
+    RunJournal,
+    SupervisorOptions,
+)
 from repro.traffic import (
     AdversarialScenario,
     MmppFleet,
@@ -99,7 +109,9 @@ __all__ = [
     "ConfigError",
     "DROP",
     "Decision",
+    "FaultInjector",
     "GreedyNonPushOut",
+    "InjectedFault",
     "LQD",
     "LQDValue",
     "LWD",
@@ -121,9 +133,15 @@ __all__ = [
     "PortSpec",
     "QueueDiscipline",
     "ReproError",
+    "ResilienceError",
+    "ResilienceStats",
+    "RunJournal",
     "ScriptedPolicy",
     "SharedMemorySwitch",
     "SrptSurrogate",
+    "SupervisorOptions",
+    "SweepExecutionError",
+    "SweepInterrupted",
     "SweepResult",
     "SwitchConfig",
     "SwitchMetrics",

@@ -39,13 +39,14 @@ per-slot scans.
 from __future__ import annotations
 
 import csv
+import math
 import multiprocessing
 import time
 import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
+    Any,
     Callable,
     Dict,
     List,
@@ -60,8 +61,16 @@ from repro.analysis.competitive import measure_competitive_ratio
 from repro.obs.counters import CounterRegistry
 from repro.analysis.stats import Summary, summarize
 from repro.core.config import SwitchConfig
-from repro.core.errors import ConfigError
+from repro.core.errors import ConfigError, SweepExecutionError
 from repro.policies import make_policy
+from repro.resilience.faults import FaultInjector
+from repro.resilience.journal import RunJournal
+from repro.resilience.supervisor import (
+    CellTask,
+    ResilienceStats,
+    SupervisedExecutor,
+    SupervisorOptions,
+)
 from repro.traffic.trace import Trace
 
 ConfigFactory = Callable[[float], SwitchConfig]
@@ -104,6 +113,10 @@ class SweepStats:
     #: ``jobs > 1`` the stages sum worker time, which can exceed
     #: ``elapsed_seconds``. Cached cells contribute nothing.
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: What the supervised executor had to absorb (retries, timeouts,
+    #: pool rebuilds, journal-resumed cells, ...). All zero on a clean
+    #: run.
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     @property
     def cells_per_second(self) -> float:
@@ -140,6 +153,8 @@ class SweepStats:
                 )
             )
             text += f"; stages: {stages}"
+        if self.resilience.any():
+            text += f"; resilience: {self.resilience.summary()}"
         return text
 
 
@@ -245,6 +260,9 @@ class _CellContext:
     by_value: Optional[bool]
     flush_every: Optional[int]
     drain: bool
+    #: Optional deterministic fault injector; inherited by forked pool
+    #: workers along with the rest of the context.
+    injector: Optional[FaultInjector] = None
 
 
 def _execute_cell(
@@ -252,6 +270,10 @@ def _execute_cell(
     value: float,
     seed: int,
     policy_names: Sequence[str],
+    *,
+    cell_index: int = 0,
+    attempt: int = 0,
+    in_worker: bool = False,
 ) -> Tuple[List[SweepPoint], Dict[str, float]]:
     """Measure ``policy_names`` on one (value, seed) cell.
 
@@ -261,10 +283,18 @@ def _execute_cell(
     parallel runs both funnel through this function, which is what makes
     their outputs bit-for-bit identical.
 
+    ``cell_index``/``attempt`` exist for the fault injector: crash,
+    death, and hang faults fire at the top of the cell, corrupt faults
+    mangle its result. A fault-free attempt of the same cell is
+    untouched, which is what keeps chaos runs byte-identical to clean
+    ones once every fault clause is exhausted.
+
     Returns the cell's points plus its per-stage wall-clock breakdown
     (``trace_gen`` / ``policy_run`` / ``opt_run``), which the runner
     folds into :attr:`SweepStats.stage_seconds`.
     """
+    if ctx.injector is not None:
+        ctx.injector.fire_in_cell(cell_index, attempt, allow_exit=in_worker)
     registry = CounterRegistry()
     config = ctx.config_factory(value)
     with registry.timer("trace_gen"):
@@ -292,6 +322,16 @@ def _execute_cell(
                 opt_objective=outcome.opt_objective,
             )
         )
+    if ctx.injector is not None and ctx.injector.should(
+        "corrupt", cell_index, attempt
+    ):
+        # Injected payload corruption: a NaN ratio up front and a
+        # silently dropped policy at the back — both shapes the result
+        # validator must catch.
+        from dataclasses import replace
+
+        points[0] = replace(points[0], ratio=float("nan"))
+        points = points[:-1] if len(points) > 1 else points
     return points, registry.stage_seconds()
 
 
@@ -303,11 +343,29 @@ _WORKER_CONTEXT: Optional[_CellContext] = None
 
 
 def _run_cell_in_worker(
-    value: float, seed: int, policy_names: Tuple[str, ...]
+    cell_index: int,
+    attempt: int,
+    value: float,
+    seed: int,
+    policy_names: Tuple[str, ...],
 ) -> Tuple[List[SweepPoint], Dict[str, float]]:
-    """Pool entry point: measure one cell using the forked context."""
-    assert _WORKER_CONTEXT is not None, "worker forked without a context"
-    return _execute_cell(_WORKER_CONTEXT, value, seed, policy_names)
+    """Pool entry point: measure one cell using the forked context.
+
+    The leading (index, attempt) pair is the supervised executor's
+    worker-call contract; it lets the fault injector target specific
+    cells and lets retried attempts escape exhausted fault clauses.
+    """
+    if _WORKER_CONTEXT is None:
+        raise RuntimeError("worker forked without a context")
+    return _execute_cell(
+        _WORKER_CONTEXT,
+        value,
+        seed,
+        policy_names,
+        cell_index=cell_index,
+        attempt=attempt,
+        in_worker=True,
+    )
 
 
 def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
@@ -421,6 +479,50 @@ def _plan_cells(
     return plans
 
 
+def _validate_cell_result(
+    plan: _CellPlan, cell_result: Any
+) -> Optional[str]:
+    """Reject structurally wrong or non-finite cell payloads.
+
+    Returns a diagnostic string when the payload is unusable (the
+    supervisor counts it corrupt and retries the cell) and ``None``
+    when it is sound. This is the read-side half of the end-to-end
+    integrity story: the cache checksums entries at rest, this checks
+    results in flight — whether mangled by a sick worker, a truncated
+    pickle, or the ``corrupt`` fault injector.
+    """
+    try:
+        points, stage_seconds = cell_result
+    except (TypeError, ValueError):
+        return f"cell result is not a (points, stages) pair: {cell_result!r}"
+    if not isinstance(stage_seconds, Mapping):
+        return f"cell stage breakdown is not a mapping: {stage_seconds!r}"
+    got = [getattr(point, "policy", None) for point in points]
+    if got != list(plan.missing):
+        return (
+            f"cell ({plan.value:g}, {plan.seed}) returned policies "
+            f"{got!r}, expected {list(plan.missing)!r}"
+        )
+    for point in points:
+        if (
+            point.param_value != float(plan.value)
+            or point.seed != plan.seed
+        ):
+            return (
+                f"point {point.policy!r} belongs to cell "
+                f"({point.param_value:g}, {point.seed}), not "
+                f"({plan.value:g}, {plan.seed})"
+            )
+        for field_name in ("ratio", "alg_objective", "opt_objective"):
+            number = getattr(point, field_name)
+            if not isinstance(number, float) or not math.isfinite(number):
+                return (
+                    f"point {point.policy!r} has non-finite "
+                    f"{field_name}={number!r}"
+                )
+    return None
+
+
 # ----------------------------------------------------------------------
 # The sweep runner
 # ----------------------------------------------------------------------
@@ -442,6 +544,9 @@ def run_sweep(
     cache: Optional[SweepCache] = None,
     cache_token: Optional[Mapping[str, object]] = None,
     progress: Optional[ProgressCallback] = None,
+    resilience: Optional[SupervisorOptions] = None,
+    journal: Optional[RunJournal] = None,
+    fault_injector: Optional[FaultInjector] = None,
 ) -> SweepResult:
     """Measure every policy at every parameter value over every seed.
 
@@ -467,6 +572,25 @@ def run_sweep(
     progress:
         Called with one formatted line per completed cell — lightweight
         progress reporting for paper-scale runs.
+    resilience:
+        Supervision knobs (per-cell timeout, retry budget, backoff,
+        pool-rebuild tolerance); defaults apply when omitted. Failures
+        beyond the retry budget quarantine the cell and surface as
+        :class:`~repro.core.errors.SweepExecutionError` carrying the
+        partial result — completed cells are never discarded.
+    journal:
+        Optional :class:`~repro.resilience.journal.RunJournal`. The
+        runner opens it against this sweep's identity, restores any
+        previously journaled cells (skipping their recomputation), and
+        appends each newly completed cell — which is what makes an
+        interrupted run resumable. SIGINT/SIGTERM surface as
+        :class:`~repro.core.errors.SweepInterrupted` *after* completed
+        cells were journaled.
+    fault_injector:
+        Deterministic chaos source for tests and the CI chaos-smoke
+        job; falls back to the ``REPRO_FAULTS`` environment spec when
+        omitted. Injected faults are absorbed by the supervision layer,
+        so a chaos run's output is byte-identical to a clean run's.
     """
     if not param_values:
         raise ConfigError("sweep needs at least one parameter value")
@@ -478,6 +602,17 @@ def run_sweep(
             "workload (see repro.analysis.cache)"
         )
     n_jobs = resolve_jobs(jobs)
+    injector = (
+        fault_injector
+        if fault_injector is not None
+        else FaultInjector.from_env()
+    )
+    if (
+        cache is not None
+        and injector is not None
+        and cache.fault_injector is None
+    ):
+        cache.fault_injector = injector
 
     started = time.perf_counter()
     # A cache may be shared across sweeps (the report runs nine panels on
@@ -490,6 +625,7 @@ def run_sweep(
         by_value=by_value,
         flush_every=flush_every,
         drain=drain,
+        injector=injector,
     )
     plans = _plan_cells(
         param_values,
@@ -506,86 +642,166 @@ def run_sweep(
 
     computed: Dict[Tuple[float, int], Dict[str, SweepPoint]] = {}
     stage_registry = CounterRegistry()
+    res_stats = ResilienceStats()
 
-    def finish_cell(
-        plan: _CellPlan,
-        cell_result: Tuple[Sequence[SweepPoint], Mapping[str, float]],
-        done: int,
-    ) -> None:
-        points, stage_seconds = cell_result
-        stage_registry.merge_seconds(stage_seconds)
-        by_policy = {point.policy: point for point in points}
-        computed[(plan.value, plan.seed)] = by_policy
-        if cache is not None:
-            for policy, point in by_policy.items():
-                cache.put(plan.keys[policy], _point_to_payload(point))
-        if progress is not None:
-            elapsed = time.perf_counter() - started
-            rate = done / elapsed if elapsed > 0 else 0.0
-            progress(
-                f"{name}: cell {done}/{len(to_run)} "
-                f"({param_name}={plan.value:g}, seed={plan.seed}) "
-                f"[{rate:.2f} cells/s]"
-            )
-
-    if to_run and n_jobs > 1:
-        mp_context = _fork_context()
-        if mp_context is None:  # pragma: no cover - non-POSIX platforms
-            warnings.warn(
-                "parallel sweeps need the 'fork' start method; "
-                "falling back to serial execution",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            n_jobs = 1
-    if to_run and n_jobs > 1:
-        global _WORKER_CONTEXT
-        _WORKER_CONTEXT = ctx
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(n_jobs, len(to_run)), mp_context=mp_context
-            ) as pool:
-                futures = {
-                    pool.submit(
-                        _run_cell_in_worker,
-                        plan.value,
-                        plan.seed,
-                        plan.missing,
-                    ): plan
-                    for plan in to_run
-                }
-                pending = set(futures)
-                done_count = 0
-                while pending:
-                    finished, pending = wait(
-                        pending, return_when=FIRST_COMPLETED
+    journal_open = False
+    try:
+        if journal is not None:
+            # The identity pins everything that determines cell results;
+            # resuming against a journal from a different sweep raises.
+            identity = {
+                "name": name,
+                "param_name": param_name,
+                "param_values": [float(v) for v in param_values],
+                "seeds": [int(s) for s in seeds],
+                "policies": list(policy_names),
+                "by_value": by_value,
+                "flush_every": flush_every,
+                "drain": bool(drain),
+                "cache_token": (
+                    dict(cache_token) if cache_token is not None else None
+                ),
+            }
+            journal.open(identity)
+            journal_open = True
+            remaining: List[_CellPlan] = []
+            for plan in to_run:
+                entry = journal.get(plan.value, plan.seed)
+                if entry is None or not all(
+                    policy in entry["points"] for policy in plan.missing
+                ):
+                    remaining.append(plan)
+                    continue
+                # Journaled payloads are the exact floats the original
+                # run computed (JSON round-trips them losslessly), so a
+                # resumed sweep's output is byte-identical.
+                by_policy = {
+                    policy: _point_from_payload(
+                        entry["points"][policy], plan.value, plan.seed,
+                        policy,
                     )
-                    for future in finished:
-                        done_count += 1
-                        finish_cell(
-                            futures[future], future.result(), done_count
+                    for policy in plan.missing
+                }
+                computed[(plan.value, plan.seed)] = by_policy
+                if cache is not None:
+                    for policy, point in by_policy.items():
+                        cache.put(
+                            plan.keys[policy], _point_to_payload(point)
                         )
-        finally:
-            _WORKER_CONTEXT = None
-    else:
-        for done_count, plan in enumerate(to_run, start=1):
-            finish_cell(
-                plan, _execute_cell(ctx, plan.value, plan.seed, plan.missing),
-                done_count,
+                res_stats.resumed_cells += 1
+            to_run = remaining
+
+        def finish_cell(
+            plan: _CellPlan,
+            cell_result: Tuple[Sequence[SweepPoint], Mapping[str, float]],
+            done: int,
+        ) -> None:
+            points, stage_seconds = cell_result
+            stage_registry.merge_seconds(stage_seconds)
+            by_policy = {point.policy: point for point in points}
+            computed[(plan.value, plan.seed)] = by_policy
+            if cache is not None:
+                for policy, point in by_policy.items():
+                    cache.put(plan.keys[policy], _point_to_payload(point))
+            if journal is not None:
+                journal.record(
+                    plan.value,
+                    plan.seed,
+                    {
+                        policy: _point_to_payload(point)
+                        for policy, point in by_policy.items()
+                    },
+                    stage_seconds,
+                )
+            if progress is not None:
+                elapsed = time.perf_counter() - started
+                rate = done / elapsed if elapsed > 0 else 0.0
+                progress(
+                    f"{name}: cell {done}/{len(to_run)} "
+                    f"({param_name}={plan.value:g}, seed={plan.seed}) "
+                    f"[{rate:.2f} cells/s]"
+                )
+
+        mp_context = None
+        if to_run and n_jobs > 1:
+            mp_context = _fork_context()
+            if mp_context is None:  # pragma: no cover - non-POSIX
+                warnings.warn(
+                    "parallel sweeps need the 'fork' start method; "
+                    "falling back to serial execution",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                n_jobs = 1
+
+        plan_by_key = {(plan.value, plan.seed): plan for plan in to_run}
+        tasks = [
+            CellTask(
+                index=index,
+                key=(plan.value, plan.seed),
+                args=(plan.value, plan.seed, plan.missing),
             )
+            for index, plan in enumerate(to_run)
+        ]
+
+        def local_fn(
+            index: int,
+            attempt: int,
+            value: float,
+            seed: int,
+            missing: Tuple[str, ...],
+        ) -> Tuple[List[SweepPoint], Dict[str, float]]:
+            return _execute_cell(
+                ctx, value, seed, missing,
+                cell_index=index, attempt=attempt, in_worker=False,
+            )
+
+        executor = SupervisedExecutor(
+            _run_cell_in_worker,
+            local_fn,
+            n_jobs=n_jobs,
+            mp_context=mp_context,
+            options=resilience,
+            stats=res_stats,
+            validate=lambda task, result: _validate_cell_result(
+                plan_by_key[task.key], result
+            ),
+            on_complete=lambda task, result, done: finish_cell(
+                plan_by_key[task.key], result, done
+            ),
+            injector=injector,
+        )
+
+        failures: List = []
+        if tasks:
+            global _WORKER_CONTEXT
+            _WORKER_CONTEXT = ctx
+            try:
+                _, failures = executor.run(tasks)
+            finally:
+                _WORKER_CONTEXT = None
+    finally:
+        if journal_open:
+            journal.close()
 
     # Reassemble in the canonical serial order regardless of completion
     # order or cache state, so output bytes never depend on scheduling.
+    # With quarantined cells the result is partial: their points are
+    # simply absent (and the error below carries the failure details).
     result = SweepResult(name=name, param_name=param_name)
     for plan in plans:
         fresh = computed.get((plan.value, plan.seed), {})
         for policy in policy_names:
             point = fresh.get(policy) or plan.cached.get(policy)
-            assert point is not None, (
-                f"cell ({plan.value}, {plan.seed}) lost policy {policy}"
-            )
+            if point is None:
+                assert failures, (
+                    f"cell ({plan.value}, {plan.seed}) lost policy "
+                    f"{policy}"
+                )
+                continue
             result.points.append(point)
 
+    res_stats.merge_into(stage_registry)
     result.stats = SweepStats(
         cells_total=len(plans),
         cells_executed=len(to_run),
@@ -596,5 +812,16 @@ def run_sweep(
         elapsed_seconds=time.perf_counter() - started,
         jobs=n_jobs,
         stage_seconds=stage_registry.stage_seconds(),
+        resilience=res_stats,
     )
+    if failures:
+        preview = "; ".join(str(failure) for failure in failures[:3])
+        if len(failures) > 3:
+            preview += f"; ... ({len(failures) - 3} more)"
+        raise SweepExecutionError(
+            f"sweep {name!r}: {len(failures)} of {len(plans)} cells "
+            f"quarantined after exhausting retries ({preview})",
+            failures=tuple(failures),
+            result=result,
+        )
     return result

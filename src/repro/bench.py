@@ -447,14 +447,16 @@ def run_bench(
 
 
 def write_report(report: Mapping[str, object], out_dir: Path | str) -> Path:
-    """Write the report as ``<out_dir>/BENCH_<tag>.json``; returns path."""
+    """Write the report as ``<out_dir>/BENCH_<tag>.json``; returns path.
+
+    Published atomically (temp file + rename): CI gates load these
+    reports, and a half-written baseline must never be observable.
+    """
+    from repro.resilience import atomic_write_json
+
     out_dir = Path(out_dir)
-    out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{report['tag']}.json"
-    with path.open("w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=False)
-        handle.write("\n")
-    return path
+    return atomic_write_json(path, report, indent=2)
 
 
 def load_report(path: Path | str) -> Dict[str, object]:

@@ -20,6 +20,15 @@ Subcommands
 ``profile``
     Run a sweep experiment and print the per-stage wall-clock breakdown
     (trace generation vs. policy runs vs. OPT surrogate).
+``cache``
+    Verify the sweep result cache (checksum every entry) or garbage-
+    collect corrupt/legacy/quarantined entries.
+
+Resilience (see ``docs/RESILIENCE.md``): ``run`` accepts
+``--timeout/--retries`` (supervised worker execution), ``--journal``
+(checkpointed progress; an interrupted run exits 130 and drops a
+resume manifest), ``--resume MANIFEST`` (continue where it stopped),
+and ``--inject-faults SPEC`` (deterministic chaos for testing).
 """
 
 from __future__ import annotations
@@ -30,7 +39,11 @@ from typing import List, Optional
 
 from repro.analysis.competitive import run_scenario
 from repro.analysis.sweep import SweepResult
-from repro.core.errors import ReproError
+from repro.core.errors import (
+    ReproError,
+    SweepExecutionError,
+    SweepInterrupted,
+)
 from repro.experiments.registry import (
     describe_experiment,
     list_experiments,
@@ -64,20 +77,108 @@ def _sweep_cache_dir(args: argparse.Namespace) -> Optional[str]:
     return str(default_cache_dir())
 
 
+def _resilience_options(args: argparse.Namespace):
+    """SupervisorOptions from --timeout/--retries (None = defaults)."""
+    from repro.resilience import SupervisorOptions
+
+    options = SupervisorOptions()
+    if getattr(args, "timeout", None) is not None:
+        options.timeout = args.timeout
+    if getattr(args, "retries", None) is not None:
+        options.retries = args.retries
+    return options
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.resilience import (
+        FaultInjector,
+        RunJournal,
+        default_manifest_path,
+        load_manifest,
+        write_manifest,
+    )
+
+    experiment = args.experiment
+    if args.resume:
+        # The manifest restores the run's identity (experiment, scale,
+        # journal, cache); execution knobs (--jobs/--timeout/--retries)
+        # come from *this* invocation, so a resume may change them.
+        manifest = load_manifest(args.resume)
+        experiment = manifest["experiment"]
+        saved = manifest.get("options", {})
+        if args.slots is None:
+            args.slots = saved.get("slots")
+        if args.seeds is None:
+            args.seeds = saved.get("seeds")
+        if not args.journal:
+            args.journal = manifest["journal"]
+        if not args.cache_dir and saved.get("cache_dir"):
+            args.cache_dir = saved["cache_dir"]
+        if saved.get("no_cache"):
+            args.no_cache = True
+    if experiment is None:
+        print(
+            "run needs an experiment id (or --resume MANIFEST)",
+            file=sys.stderr,
+        )
+        return 2
+
     progress = None
     if args.progress:
         progress = lambda line: print(line, file=sys.stderr)  # noqa: E731
-    result = run_experiment(
-        args.experiment,
-        n_slots=args.slots,
-        seeds=args.seeds,
-        jobs=args.jobs,
-        cache_dir=_sweep_cache_dir(args),
-        progress=progress,
+    journal = RunJournal(args.journal) if args.journal else None
+    injector = (
+        FaultInjector.parse(args.inject_faults)
+        if args.inject_faults
+        else None
     )
+    try:
+        result = run_experiment(
+            experiment,
+            n_slots=args.slots,
+            seeds=args.seeds,
+            jobs=args.jobs,
+            cache_dir=_sweep_cache_dir(args),
+            progress=progress,
+            resilience=_resilience_options(args),
+            journal=journal,
+            fault_injector=injector,
+        )
+    except SweepInterrupted as exc:
+        print(f"# interrupted: {exc}", file=sys.stderr)
+        if args.journal:
+            manifest_path = default_manifest_path(args.journal)
+            write_manifest(
+                manifest_path,
+                experiment=experiment,
+                journal=args.journal,
+                options={
+                    "slots": args.slots,
+                    "seeds": list(args.seeds) if args.seeds else None,
+                    "cache_dir": args.cache_dir,
+                    "no_cache": bool(args.no_cache),
+                },
+                completed=exc.completed,
+                total=exc.total,
+            )
+            print(
+                f"# resume with: repro run --resume {manifest_path}",
+                file=sys.stderr,
+            )
+        return 130
+    except SweepExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        partial = exc.result
+        if partial is not None and partial.points:
+            print(
+                f"# partial result "
+                f"({len(exc.failures)} cells quarantined):"
+            )
+            print(partial.format_table())
+            print(f"# {partial.stats.summary()}")
+        return 1
     if isinstance(result, SweepResult):
-        print(f"# {args.experiment}: {describe_experiment(args.experiment)}")
+        print(f"# {experiment}: {describe_experiment(experiment)}")
         print(result.format_table())
         print(f"# {result.stats.summary()}")
         if args.plot:
@@ -89,7 +190,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             result.to_csv(args.out)
             print(f"# wrote {args.out}")
     elif hasattr(result, "format_table"):
-        print(f"# {args.experiment}: {describe_experiment(args.experiment)}")
+        print(f"# {experiment}: {describe_experiment(experiment)}")
         print(result.format_table())
     else:
         scenario, outcome = result
@@ -331,6 +432,25 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Verify or garbage-collect the sweep result cache."""
+    from pathlib import Path
+
+    from repro.analysis.cache import SweepCache, default_cache_dir
+
+    root = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    cache = SweepCache(root)
+    if args.action == "verify":
+        report = cache.verify()
+        print(f"# {root}: {report.summary()}")
+        for path in report.corrupt:
+            print(f"corrupt: {path}")
+        return 0 if report.clean else 1
+    report = cache.gc()
+    print(f"# {root}: {report.summary()}")
+    return 0
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     builder = ALL_SCENARIOS.get(args.theorem)
     if builder is None:
@@ -374,7 +494,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     run_parser = sub.add_parser("run", help="run an experiment by id")
-    run_parser.add_argument("experiment", help="e.g. fig5-1 or thm6")
+    run_parser.add_argument(
+        "experiment", nargs="?", default=None,
+        help="e.g. fig5-1 or thm6 (optional with --resume)",
+    )
     run_parser.add_argument(
         "--slots", type=int, default=None,
         help="simulation length in slots (Fig. 5 panels)",
@@ -389,7 +512,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="render the sweep as an ASCII chart after the table",
     )
     _add_sweep_engine_flags(run_parser)
+    _add_resilience_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
+
+    cache_parser = sub.add_parser(
+        "cache", help="verify or garbage-collect the sweep result cache"
+    )
+    cache_parser.add_argument(
+        "action", choices=("verify", "gc"),
+        help=(
+            "verify: checksum every entry (exit 1 on corruption); "
+            "gc: delete corrupt/legacy/quarantined entries"
+        ),
+    )
+    cache_parser.add_argument(
+        "--cache-dir", default=None,
+        help=(
+            "cache directory (default: $SHMEM_CACHE_DIR or "
+            "results/sweep-cache)"
+        ),
+    )
+    cache_parser.set_defaults(func=_cmd_cache)
 
     scen_parser = sub.add_parser(
         "scenario", help="run an adversarial construction at custom sizes"
@@ -567,6 +710,51 @@ def _add_sweep_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--progress", action="store_true",
         help="report per-cell sweep progress on stderr",
+    )
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """Supervision/checkpoint knobs of ``run`` (docs/RESILIENCE.md).
+
+    Like the sweep-engine flags they apply to Fig. 5 panels only; none
+    of them changes the sweep's output bytes.
+    """
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help=(
+            "per-cell wall-clock budget in seconds (parallel runs only; "
+            "default: none)"
+        ),
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None,
+        help=(
+            "extra attempts per cell before it is quarantined "
+            "(default 2)"
+        ),
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help=(
+            "append completed cells to this JSONL journal; an "
+            "interrupted run (SIGINT/SIGTERM) exits 130 and writes "
+            "FILE.manifest.json for --resume"
+        ),
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="MANIFEST",
+        help=(
+            "resume an interrupted run from its manifest, skipping "
+            "every journaled cell"
+        ),
+    )
+    parser.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help=(
+            "deterministic chaos spec for testing, e.g. "
+            "'crash@0;hang@2;delay=0.2' (also: $REPRO_FAULTS; see "
+            "docs/RESILIENCE.md)"
+        ),
     )
 
 

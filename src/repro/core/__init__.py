@@ -8,6 +8,9 @@ from repro.core.errors import (
     ExperimentError,
     PolicyError,
     ReproError,
+    ResilienceError,
+    SweepExecutionError,
+    SweepInterrupted,
     TraceError,
 )
 from repro.core.metrics import SwitchMetrics
@@ -32,7 +35,10 @@ __all__ = [
     "PortSpec",
     "QueueDiscipline",
     "ReproError",
+    "ResilienceError",
     "SharedMemorySwitch",
+    "SweepExecutionError",
+    "SweepInterrupted",
     "SwitchConfig",
     "SwitchMetrics",
     "SwitchView",

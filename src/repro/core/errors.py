@@ -37,3 +37,39 @@ class TraceError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment specification could not be resolved or executed."""
+
+
+class ResilienceError(ReproError):
+    """A malformed fault-injection spec, journal, or resume manifest."""
+
+
+class SweepInterrupted(ReproError):
+    """A sweep was stopped by SIGINT/SIGTERM (or an injected interrupt).
+
+    Completed cells were flushed to the cache/journal before this was
+    raised, so the run is resumable; ``completed``/``total`` report how
+    far it got (over the cells that actually needed executing).
+    """
+
+    def __init__(self, message: str, *, completed: int = 0,
+                 total: int = 0) -> None:
+        super().__init__(message)
+        self.completed = completed
+        self.total = total
+
+
+class SweepExecutionError(ReproError):
+    """One or more sweep cells exhausted their retry budget.
+
+    Unlike a raw worker exception, this error reaches the caller only
+    *after* every other cell finished and all completed measurements
+    were flushed to the cache/journal. ``failures`` lists the
+    quarantined cells; ``result`` carries the partial
+    :class:`~repro.analysis.sweep.SweepResult` (quarantined cells'
+    points are missing from it).
+    """
+
+    def __init__(self, message: str, *, failures=(), result=None) -> None:
+        super().__init__(message)
+        self.failures = tuple(failures)
+        self.result = result

@@ -27,6 +27,7 @@ from repro.analysis.cache import SweepCache
 from repro.analysis.sweep import ProgressCallback, SweepResult, run_sweep
 from repro.core.config import QueueDiscipline, SwitchConfig
 from repro.core.errors import ExperimentError
+from repro.resilience import FaultInjector, RunJournal, SupervisorOptions
 from repro.traffic.workloads import (
     processing_capacity,
     processing_workload,
@@ -310,6 +311,9 @@ def run_panel(
     cache: Optional[SweepCache] = None,
     cache_dir: Optional[Path | str] = None,
     progress: Optional[ProgressCallback] = None,
+    resilience: Optional[SupervisorOptions] = None,
+    journal: Optional[RunJournal] = None,
+    fault_injector: Optional[FaultInjector] = None,
 ) -> SweepResult:
     """Execute one Fig. 5 panel and return its sweep result.
 
@@ -319,7 +323,9 @@ def run_panel(
     processes and ``cache``/``cache_dir`` to make the run resumable —
     both preserve byte-identical output (see
     :mod:`repro.analysis.sweep`). ``param_values``/``policies`` restrict
-    the sweep grid, e.g. for smoke tests.
+    the sweep grid, e.g. for smoke tests. ``resilience``/``journal``/
+    ``fault_injector`` configure the supervised executor — see
+    :mod:`repro.resilience` and ``docs/RESILIENCE.md``.
     """
     spec = PANELS.get(panel)
     if spec is None:
@@ -355,4 +361,7 @@ def run_panel(
             else None
         ),
         progress=progress,
+        resilience=resilience,
+        journal=journal,
+        fault_injector=fault_injector,
     )

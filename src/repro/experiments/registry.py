@@ -140,14 +140,19 @@ def run_experiment(
     jobs: Optional[int] = None,
     cache_dir=None,
     progress=None,
+    resilience=None,
+    journal=None,
+    fault_injector=None,
 ):
     """Run an experiment by id.
 
     Returns a :class:`~repro.analysis.sweep.SweepResult` for Fig. 5 panels
     or an ``(scenario, CompetitiveResult)`` pair for theorem experiments.
     ``jobs``, ``cache_dir``, and ``progress`` configure the parallel sweep
-    engine and apply to Fig. 5 panels only (theorem replays are single
-    deterministic traces — there is nothing to fan out or memoize).
+    engine; ``resilience``, ``journal``, and ``fault_injector`` its
+    supervision layer (see :mod:`repro.resilience`). All of these apply
+    to Fig. 5 panels only (theorem replays are single deterministic
+    traces — there is nothing to fan out, memoize, or resume).
     """
     if experiment_id.startswith("fig5-"):
         panel = _panel_number(experiment_id)
@@ -162,6 +167,12 @@ def run_experiment(
             kwargs["cache_dir"] = cache_dir
         if progress is not None:
             kwargs["progress"] = progress
+        if resilience is not None:
+            kwargs["resilience"] = resilience
+        if journal is not None:
+            kwargs["journal"] = journal
+        if fault_injector is not None:
+            kwargs["fault_injector"] = fault_injector
         return run_panel(panel, **kwargs)
     if experiment_id == "skew":
         from repro.experiments.skewed import run_skew_sweep

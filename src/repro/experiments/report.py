@@ -17,6 +17,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.analysis.cache import SweepCache
 from repro.analysis.competitive import run_scenario
+from repro.resilience import ResilienceStats, atomic_write_text
 from repro.experiments.architecture import run_architecture_comparison
 from repro.experiments.fig5 import PANELS, run_panel
 from repro.experiments.registry import THEOREM_EXPERIMENTS
@@ -119,6 +120,17 @@ def generate_report(options: Optional[ReportOptions] = None) -> str:
             "\nStage columns sum per-cell wall-clock (worker time under "
             "`--jobs`); cached cells contribute nothing.\n\n"
         )
+        # Resilience totals across all panels — only worth a line when
+        # the supervised executor actually had to absorb something.
+        totals = ResilienceStats()
+        for _, stats in panel_stats:
+            for name, amount in stats.resilience.as_dict().items():
+                setattr(totals, name, getattr(totals, name) + amount)
+        if totals.any():
+            out.write(
+                f"Resilience: {totals.summary()} across "
+                f"{len(panel_stats)} panels (see docs/RESILIENCE.md).\n\n"
+            )
 
     if options.include_extensions:
         out.write("## Extension studies\n\n")
@@ -141,8 +153,11 @@ def generate_report(options: Optional[ReportOptions] = None) -> str:
 
 
 def write_report(path: str, options: Optional[ReportOptions] = None) -> str:
-    """Generate the report and write it to ``path``; returns the text."""
+    """Generate the report and write it to ``path``; returns the text.
+
+    Published atomically — a report interrupted mid-write leaves the
+    previous file intact rather than a truncated document.
+    """
     text = generate_report(options)
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(text)
+    atomic_write_text(path, text)
     return text

@@ -57,6 +57,19 @@ class CounterRegistry:
     def count(self, name: str) -> int:
         return self._counters.get(name, 0)
 
+    def counters(self, prefix: str = "") -> Dict[str, int]:
+        """Plain ``{name: count}`` mapping, optionally prefix-filtered.
+
+        ``counters("resilience.")`` is how callers read back what
+        :meth:`~repro.resilience.supervisor.ResilienceStats.merge_into`
+        folded in.
+        """
+        return {
+            name: amount
+            for name, amount in self._counters.items()
+            if name.startswith(prefix)
+        }
+
     # -- timers -----------------------------------------------------------
 
     def timer(self, name: str) -> _Timer:

@@ -29,6 +29,7 @@ therefore a meaningful contract, not an approximation.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import (
     IO,
@@ -43,6 +44,7 @@ from typing import (
 from repro.core.errors import TraceError
 from repro.core.metrics import SwitchMetrics
 from repro.obs.observer import PacketEvent, SlotObserver
+from repro.resilience.atomic import tmp_path_for
 
 #: Version of the JSONL event grammar; bumped on incompatible changes.
 EVENT_SCHEMA_VERSION = 1
@@ -62,6 +64,14 @@ class JsonlTraceWriter(SlotObserver):
     line is written on construction; call :meth:`write_end` (or use the
     writer as a context manager around a run and call it before exit)
     to close the stream with the recording run's metrics snapshot.
+
+    Path sinks are published *atomically*: events stream to a sibling
+    temp file, which is renamed onto the target only when the stream
+    was properly terminated with :meth:`write_end`. A recording that
+    crashes, is killed, or calls :meth:`abort` leaves no file at the
+    target path — a trace on disk is therefore always complete
+    (header through ``end``), never torn. File-object sinks keep the
+    caller's semantics untouched.
     """
 
     def __init__(
@@ -70,13 +80,21 @@ class JsonlTraceWriter(SlotObserver):
         *,
         header: Optional[Mapping[str, object]] = None,
     ) -> None:
+        self._final_path: Optional[Path] = None
+        self._tmp_path: Optional[Path] = None
         if isinstance(sink, (str, Path)):
-            self._handle: IO[str] = Path(sink).open("w", encoding="utf-8")
+            self._final_path = Path(sink)
+            self._final_path.parent.mkdir(parents=True, exist_ok=True)
+            self._tmp_path = tmp_path_for(self._final_path)
+            self._handle: IO[str] = self._tmp_path.open(
+                "w", encoding="utf-8"
+            )
             self._owns_handle = True
         else:
             self._handle = sink
             self._owns_handle = False
         self._closed = False
+        self._ended = False
         self.events_written = 0
         head: Dict[str, object] = {
             "t": "header",
@@ -101,15 +119,38 @@ class JsonlTraceWriter(SlotObserver):
         if metrics is not None:
             tail["metrics"] = metrics.snapshot()
         self._write(tail)
+        self._ended = True
         self.close()
 
     def close(self) -> None:
-        if not self._closed:
-            self._closed = True
-            if self._owns_handle:
-                self._handle.close()
-            else:
+        """Close the stream; for path sinks, publish or discard.
+
+        A terminated stream (``write_end`` was called) is fsynced and
+        renamed onto the target path; an unterminated one is discarded,
+        so the target never holds a torn trace. Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not self._owns_handle:
+            self._handle.flush()
+            return
+        try:
+            if self._ended:
                 self._handle.flush()
+                os.fsync(self._handle.fileno())
+        finally:
+            self._handle.close()
+        assert self._tmp_path is not None and self._final_path is not None
+        if self._ended:
+            os.replace(self._tmp_path, self._final_path)
+        else:
+            self._tmp_path.unlink(missing_ok=True)
+
+    def abort(self) -> None:
+        """Discard the recording: close the stream without publishing."""
+        self._ended = False
+        self.close()
 
     def __enter__(self) -> "JsonlTraceWriter":
         return self
@@ -275,6 +316,11 @@ def record_trace(
             observer=writer,
         )
         writer.write_end(metrics)
+    except BaseException:
+        # A failed recording publishes nothing: the sink path either
+        # keeps its previous contents or stays absent.
+        writer.abort()
+        raise
     finally:
         writer.close()
     return metrics

@@ -1,0 +1,70 @@
+"""Resilient execution layer: faults, supervision, checkpointed resume.
+
+Paper-scale sweeps run unattended for hours; this package is what lets
+them survive crashes, hangs, preemption, and Ctrl-C without losing
+completed work — while preserving the engine's byte-identical
+determinism contract. See ``docs/RESILIENCE.md`` for the operator's
+view.
+
+* :mod:`repro.resilience.atomic` — temp-file + ``os.replace`` atomic
+  publication, shared by every durable artifact the repo writes;
+* :mod:`repro.resilience.faults` — the deterministic, seeded
+  :class:`FaultInjector` (``REPRO_FAULTS`` / ``--inject-faults``);
+* :mod:`repro.resilience.supervisor` — the
+  :class:`SupervisedExecutor`: retries with deterministic backoff,
+  per-cell timeouts, transparent pool rebuilds, quarantine, and
+  graceful degradation to serial execution;
+* :mod:`repro.resilience.journal` — the incremental
+  :class:`RunJournal` and the resume manifests behind
+  ``repro run --resume``.
+"""
+
+from repro.resilience.atomic import (
+    atomic_write_json,
+    atomic_write_text,
+    tmp_path_for,
+)
+from repro.resilience.faults import (
+    FAULT_MODES,
+    FAULTS_ENV,
+    FaultClause,
+    FaultInjector,
+    InjectedFault,
+)
+from repro.resilience.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    MANIFEST_SCHEMA_VERSION,
+    RunJournal,
+    default_manifest_path,
+    load_manifest,
+    write_manifest,
+)
+from repro.resilience.supervisor import (
+    CellFailure,
+    CellTask,
+    ResilienceStats,
+    SupervisedExecutor,
+    SupervisorOptions,
+)
+
+__all__ = [
+    "FAULT_MODES",
+    "FAULTS_ENV",
+    "CellFailure",
+    "CellTask",
+    "FaultClause",
+    "FaultInjector",
+    "InjectedFault",
+    "JOURNAL_SCHEMA_VERSION",
+    "MANIFEST_SCHEMA_VERSION",
+    "ResilienceStats",
+    "RunJournal",
+    "SupervisedExecutor",
+    "SupervisorOptions",
+    "atomic_write_json",
+    "atomic_write_text",
+    "default_manifest_path",
+    "load_manifest",
+    "tmp_path_for",
+    "write_manifest",
+]
