@@ -271,6 +271,7 @@ class SweepCache:
             # path, no atomic rename — a crashed pre-atomic writer.
             try:
                 path.parent.mkdir(parents=True, exist_ok=True)
+                # repro: allow[RC403] -- deliberately torn write: this branch simulates a crashed pre-atomic writer for the chaos suite
                 path.write_text(
                     body[: max(1, len(body) // 2)], encoding="utf-8"
                 )
@@ -282,6 +283,7 @@ class SweepCache:
             return
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
+            # repro: allow[RC403] -- this IS the atomic protocol: sibling tmp + fsync + os.replace two lines down
             with tmp.open("w", encoding="utf-8") as handle:
                 handle.write(body)
                 handle.flush()

@@ -39,6 +39,7 @@ per-slot scans.
 from __future__ import annotations
 
 import csv
+import io
 import math
 import multiprocessing
 import time
@@ -193,31 +194,40 @@ class SweepResult:
         return result
 
     def to_csv(self, path: Path | str) -> None:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("w", newline="", encoding="utf-8") as handle:
-            writer = csv.writer(handle)
+        """Write the per-cell results as CSV, published atomically.
+
+        The rows are rendered in memory and land via tmp + fsync +
+        rename, so an interrupted run can never leave a truncated CSV
+        for the byte-identity checks (serial vs parallel, resume) to
+        trip over. Bytes are unchanged from the previous direct write
+        (csv's default \\r\\n row terminator included).
+        """
+        from repro.resilience.atomic import atomic_write_text
+
+        buffer = io.StringIO(newline="")
+        writer = csv.writer(buffer)
+        writer.writerow(
+            [
+                self.param_name,
+                "policy",
+                "seed",
+                "ratio",
+                "alg_objective",
+                "opt_objective",
+            ]
+        )
+        for p in self.points:
             writer.writerow(
                 [
-                    self.param_name,
-                    "policy",
-                    "seed",
-                    "ratio",
-                    "alg_objective",
-                    "opt_objective",
+                    p.param_value,
+                    p.policy,
+                    p.seed,
+                    f"{p.ratio:.6f}",
+                    f"{p.alg_objective:.3f}",
+                    f"{p.opt_objective:.3f}",
                 ]
             )
-            for p in self.points:
-                writer.writerow(
-                    [
-                        p.param_value,
-                        p.policy,
-                        p.seed,
-                        f"{p.ratio:.6f}",
-                        f"{p.alg_objective:.3f}",
-                        f"{p.opt_objective:.3f}",
-                    ]
-                )
+        atomic_write_text(path, buffer.getvalue())
 
     def format_table(self) -> str:
         """The sweep as a fixed-width table: one row per parameter value,

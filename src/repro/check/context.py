@@ -1,0 +1,179 @@
+"""Per-module analysis context shared by all rules.
+
+A :class:`ModuleContext` bundles everything a rule needs to inspect one
+source file: the parsed AST, the raw source lines, the module's dotted
+name (which scopes rule packs — determinism rules only fire inside the
+simulation packages), and an import table that resolves local names
+back to their defining module so rules can match fully-qualified call
+targets (``np.random.default_rng`` and
+``from numpy.random import default_rng`` both resolve to
+``numpy.random.default_rng``).
+
+Module names are derived from the file path (the segment after a
+``src`` directory, or the first ``repro`` segment). Files outside the
+package tree — the self-test corpus under ``tests/`` in particular —
+can pin their module identity with a pragma near the top of the file::
+
+    # repro: module=repro.policies.example
+
+which makes scoped rules treat the file as if it lived at that import
+path.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+_MODULE_PRAGMA = re.compile(r"#\s*repro:\s*module=([\w.]+)")
+
+#: How many leading lines are searched for the module pragma.
+_PRAGMA_SEARCH_LINES = 10
+
+
+def derive_module_name(path: Path) -> str:
+    """Dotted module name for ``path``, or ``""`` when underivable.
+
+    ``src/repro/core/switch.py`` -> ``repro.core.switch``;
+    ``repro/viz.py`` -> ``repro.viz``; paths with no ``src`` or
+    ``repro`` segment yield the empty string (rules scoped to a
+    package then skip the file unless it carries a module pragma).
+    """
+    parts = list(path.parts)
+    if path.suffix == ".py":
+        parts[-1] = path.stem
+    for anchor in ("src", "repro"):
+        if anchor in parts[:-1] or (anchor == "repro" and parts[-1] == anchor):
+            idx = parts.index(anchor)
+            tail = parts[idx + 1 :] if anchor == "src" else parts[idx:]
+            if tail:
+                if tail[-1] == "__init__":
+                    tail = tail[:-1]
+                if tail:
+                    return ".".join(tail)
+    return ""
+
+
+def _pragma_module(source: str) -> Optional[str]:
+    for line in source.splitlines()[:_PRAGMA_SEARCH_LINES]:
+        match = _MODULE_PRAGMA.search(line)
+        if match:
+            return match.group(1)
+    return None
+
+
+def build_import_table(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted path they were imported from.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from numpy.random import default_rng as rng`` ->
+    ``{"rng": "numpy.random.default_rng"}``. Relative imports resolve
+    with their leading dots stripped (rule matching is prefix-based on
+    absolute names, and this repo uses absolute imports throughout).
+    """
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                table[local] = origin
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                table[local] = f"{base}.{alias.name}" if base else alias.name
+    return table
+
+
+@dataclass
+class ModuleContext:
+    """Everything rules need to analyze one parsed source file."""
+
+    path: Path
+    display_path: str
+    module: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    imports: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        *,
+        path: Path | str = "<string>",
+        display_path: Optional[str] = None,
+    ) -> "ModuleContext":
+        """Parse ``source`` into a context (raises ``SyntaxError``)."""
+        path = Path(path)
+        tree = ast.parse(source, filename=str(path))
+        module = _pragma_module(source) or derive_module_name(path)
+        return cls(
+            path=path,
+            display_path=display_path or str(path),
+            module=module,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+            imports=build_import_table(tree),
+        )
+
+    @classmethod
+    def from_file(cls, path: Path | str) -> "ModuleContext":
+        path = Path(path)
+        source = path.read_text(encoding="utf-8")
+        return cls.from_source(source, path=path)
+
+    # ------------------------------------------------------------------
+    # Name resolution helpers
+    # ------------------------------------------------------------------
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Whether this module lives under any of the dotted prefixes."""
+        for prefix in prefixes:
+            if self.module == prefix or self.module.startswith(prefix + "."):
+                return True
+        return False
+
+    def dotted_name(self, node: ast.expr) -> Optional[str]:
+        """The plain dotted source text of a Name/Attribute chain.
+
+        ``a.b.c`` -> ``"a.b.c"``; anything rooted in a call, subscript
+        or literal yields ``None``.
+        """
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if isinstance(current, ast.Name):
+            parts.append(current.id)
+            return ".".join(reversed(parts))
+        return None
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Fully-qualified name of a Name/Attribute chain, if importable.
+
+        Follows the import table for the root name: with
+        ``import numpy as np``, ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng``. A root that was never imported
+        resolves to its dotted source text (so builtins like ``open``
+        and locally-defined names come back verbatim).
+        """
+        dotted = self.dotted_name(node)
+        if dotted is None:
+            return None
+        root, _, rest = dotted.partition(".")
+        origin = self.imports.get(root, root)
+        return f"{origin}.{rest}" if rest else origin
+
+    def call_target(self, node: ast.Call) -> Optional[str]:
+        """``resolve()`` applied to a call's function expression."""
+        return self.resolve(node.func)

@@ -1,0 +1,259 @@
+"""Determinism lint (RC1xx): the byte-identical-replay contract.
+
+Scope: the simulation packages — ``repro.core``, ``repro.policies``,
+``repro.traffic``, ``repro.opt``. Everything these modules compute must
+be a pure function of ``(config, trace, seed)``: the sweep engine
+replays cells across processes, the cache replays them across runs, and
+the resilience layer replays them across crashes, all asserting
+byte-identical output. One wall-clock read or one unseeded RNG breaks
+all three replays at once.
+
+The repo's seed-derivation convention (CONTRIBUTING.md): every
+stochastic component takes an explicit ``seed`` parameter and threads
+it through ``numpy.random.default_rng(seed)``. The RNG rules therefore
+allow any *seeded* generator construction and flag the global-state and
+unseeded forms.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.check.context import ModuleContext
+from repro.check.registry import rule
+
+#: Packages whose output must be a pure function of (config, trace, seed).
+DETERMINISTIC_PACKAGES = (
+    "repro.core",
+    "repro.policies",
+    "repro.traffic",
+    "repro.opt",
+)
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+_ENTROPY = {
+    "os.urandom",
+    "os.getrandom",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbits",
+    "secrets.randbelow",
+    "secrets.choice",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+#: stdlib ``random`` module-level functions (hidden global Mersenne state).
+_GLOBAL_RANDOM = {
+    "random.random",
+    "random.seed",
+    "random.randint",
+    "random.randrange",
+    "random.choice",
+    "random.choices",
+    "random.sample",
+    "random.shuffle",
+    "random.uniform",
+    "random.gauss",
+    "random.normalvariate",
+    "random.expovariate",
+    "random.betavariate",
+    "random.getrandbits",
+}
+
+#: numpy legacy global-state API (``np.random.seed`` and friends).
+_GLOBAL_NUMPY = {
+    "numpy.random.seed",
+    "numpy.random.random",
+    "numpy.random.rand",
+    "numpy.random.randn",
+    "numpy.random.randint",
+    "numpy.random.random_sample",
+    "numpy.random.choice",
+    "numpy.random.shuffle",
+    "numpy.random.permutation",
+    "numpy.random.uniform",
+    "numpy.random.normal",
+    "numpy.random.poisson",
+    "numpy.random.exponential",
+    "numpy.random.binomial",
+}
+
+#: Constructors that are fine *with* a seed and flagged without one.
+_SEEDED_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "random.Random",
+    "random.SystemRandom",  # never seedable -> always flagged below
+}
+
+
+@rule(
+    "RC101",
+    "wall-clock",
+    "no wall-clock or timer reads inside deterministic modules",
+    scope=DETERMINISTIC_PACKAGES,
+)
+def wall_clock(ctx: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            target = ctx.call_target(node)
+            if target in _WALL_CLOCK:
+                yield node, (
+                    f"{target}() reads the wall clock; simulation state "
+                    "must be a pure function of (config, trace, seed)"
+                )
+
+
+@rule(
+    "RC102",
+    "entropy-source",
+    "no OS entropy (urandom/secrets/uuid4) inside deterministic modules",
+    scope=DETERMINISTIC_PACKAGES,
+)
+def entropy_source(ctx: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            target = ctx.call_target(node)
+            if target in _ENTROPY:
+                yield node, (
+                    f"{target}() draws OS entropy, which no seed can "
+                    "replay; derive randomness from the run's seed"
+                )
+
+
+def _is_seeded(call: ast.Call) -> bool:
+    """Whether an RNG constructor receives any seed-ish argument."""
+    if call.args:
+        return True
+    return any(kw.arg in ("seed", "x") or kw.arg is None for kw in call.keywords)
+
+
+@rule(
+    "RC103",
+    "unseeded-rng",
+    "RNGs must be constructed from an explicit seed; no global RNG state",
+    scope=DETERMINISTIC_PACKAGES,
+)
+def unseeded_rng(ctx: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = ctx.call_target(node)
+        if target is None:
+            continue
+        if target in _GLOBAL_RANDOM:
+            yield node, (
+                f"{target}() uses the interpreter-global RNG; construct "
+                "numpy.random.default_rng(seed) and thread it through"
+            )
+        elif target in _GLOBAL_NUMPY:
+            yield node, (
+                f"{target}() mutates numpy's global RNG state; construct "
+                "numpy.random.default_rng(seed) and thread it through"
+            )
+        elif target == "random.SystemRandom":
+            yield node, (
+                "random.SystemRandom draws OS entropy and cannot be "
+                "seeded; use numpy.random.default_rng(seed)"
+            )
+        elif target in _SEEDED_CONSTRUCTORS and not _is_seeded(node):
+            yield node, (
+                f"{target}() without a seed is nondeterministic; pass "
+                "the seed explicitly so it flows from the caller"
+            )
+
+
+def _is_set_expr(ctx: ModuleContext, node: ast.expr) -> bool:
+    """Whether ``node`` evaluates to a freshly-built set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return ctx.call_target(node) in ("set", "frozenset")
+    return False
+
+
+@rule(
+    "RC104",
+    "unordered-iteration",
+    "no iteration over sets (hash order); wrap in sorted(...)",
+    scope=DETERMINISTIC_PACKAGES,
+)
+def unordered_iteration(ctx: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+    message = (
+        "iterating a set visits elements in hash order, which is not "
+        "stable across processes; wrap it in sorted(...)"
+    )
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.For) and _is_set_expr(ctx, node.iter):
+            yield node.iter, message
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for generator in node.generators:
+                if _is_set_expr(ctx, generator.iter):
+                    yield generator.iter, message
+        elif isinstance(node, ast.Call):
+            target = ctx.call_target(node)
+            if (
+                target in ("list", "tuple")
+                and len(node.args) == 1
+                and _is_set_expr(ctx, node.args[0])
+            ):
+                yield node, (
+                    f"{target}(set(...)) materializes hash order; use "
+                    "sorted(...) for a stable sequence"
+                )
+
+
+def _uses_id(ctx: ModuleContext, node: ast.expr) -> Optional[ast.AST]:
+    """The first ``id(...)`` call (or bare ``id`` reference) in ``node``."""
+    if isinstance(node, ast.Name) and node.id == "id":
+        return node
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and ctx.call_target(sub) == "id":
+            return sub
+    return None
+
+
+@rule(
+    "RC105",
+    "id-keyed-order",
+    "no id()-keyed sorts; object addresses differ across processes",
+    scope=DETERMINISTIC_PACKAGES,
+)
+def id_keyed_order(ctx: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = ctx.call_target(node)
+        is_sort_call = target in ("sorted", "min", "max") or (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "sort"
+        )
+        if not is_sort_call:
+            continue
+        for kw in node.keywords:
+            if kw.arg != "key":
+                continue
+            hit = _uses_id(ctx, kw.value)
+            if hit is not None:
+                yield hit, (
+                    "ordering keyed on id() depends on allocation "
+                    "addresses and differs between processes; key on "
+                    "stable packet/port fields (e.g. seq) instead"
+                )

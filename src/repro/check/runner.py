@@ -1,0 +1,190 @@
+"""The analyzer driver: expand paths, run rules, apply suppressions.
+
+:func:`run_check` is the single entry point used by the CLI, the test
+suite, and CI. It walks the given files/directories, parses each
+Python source once, runs every applicable rule, filters findings
+through the file's suppression pragmas, and reports suppression misuse
+(missing justifications, stale pragmas) as meta findings.
+
+Meta findings (``RC9xx``) are produced here rather than by registered
+rules because they are about the analyzer's own machinery and must not
+be suppressible — a pragma that silences "your pragma is unjustified"
+would be a hole in the contract.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.check.context import ModuleContext
+from repro.check.findings import CheckReport, Finding
+from repro.check.registry import (
+    META_MISSING_JUSTIFICATION,
+    META_PARSE_ERROR,
+    META_UNUSED_SUPPRESSION,
+    Rule,
+    select_rules,
+)
+from repro.check.suppressions import SuppressionIndex, strip_suppressions
+from repro.core.errors import ConfigError
+
+#: Directory names never descended into during path expansion.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+
+def expand_paths(paths: Sequence[Path | str]) -> List[Path]:
+    """The ``.py`` files under ``paths``, sorted for stable output."""
+    files: List[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.append(candidate)
+        elif path.suffix == ".py":
+            files.append(path)
+        elif not path.exists():
+            raise ConfigError(f"no such file or directory: {path}")
+    return files
+
+
+def check_source(
+    source: str,
+    *,
+    path: Path | str = "<string>",
+    rules: Optional[Iterable[str]] = None,
+) -> CheckReport:
+    """Analyze a source string (the test suite's entry point)."""
+    report = CheckReport(files_scanned=1)
+    _check_one(
+        source,
+        Path(path),
+        select_rules(list(rules) if rules is not None else None),
+        report,
+        fix_suppressions=False,
+        report_unused=rules is None,
+    )
+    return report.sorted()
+
+
+def check_file(
+    path: Path | str, *, rules: Optional[Iterable[str]] = None
+) -> CheckReport:
+    """Analyze a single file."""
+    return run_check([Path(path)], rules=rules)
+
+
+def run_check(
+    paths: Sequence[Path | str],
+    *,
+    rules: Optional[Iterable[str]] = None,
+    fix_suppressions: bool = False,
+) -> CheckReport:
+    """Analyze every Python file under ``paths``.
+
+    ``rules`` restricts the run to the given ``RCxxx`` codes (meta
+    findings are always produced). With ``fix_suppressions`` stale
+    pragmas (RC902) are deleted from the files in place and reported
+    as fixed rather than as findings.
+    """
+    selected = select_rules(list(rules) if rules is not None else None)
+    report = CheckReport()
+    for file_path in expand_paths(paths):
+        report.files_scanned += 1
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ConfigError(f"cannot read {file_path}: {exc}") from exc
+        _check_one(
+            source,
+            file_path,
+            selected,
+            report,
+            fix_suppressions=fix_suppressions,
+            report_unused=rules is None,
+        )
+    return report.sorted()
+
+
+def _check_one(
+    source: str,
+    path: Path,
+    rules: List[Rule],
+    report: CheckReport,
+    *,
+    fix_suppressions: bool,
+    report_unused: bool = True,
+) -> None:
+    """Analyze one source blob, appending into ``report``."""
+    display = str(path)
+    try:
+        ctx = ModuleContext.from_source(source, path=path)
+    except SyntaxError as exc:
+        report.findings.append(
+            Finding(
+                code=META_PARSE_ERROR,
+                rule="parse-error",
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"cannot parse: {exc.msg}",
+            )
+        )
+        return
+
+    suppressions = SuppressionIndex.parse(ctx.lines)
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.run(ctx):
+            if suppressions.matches(finding.code, finding.line):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)
+
+    for pragma in suppressions.unjustified():
+        report.findings.append(
+            Finding(
+                code=META_MISSING_JUSTIFICATION,
+                rule="suppression-missing-justification",
+                path=display,
+                line=pragma.line,
+                col=0,
+                message=(
+                    "suppression needs a justification: "
+                    "# repro: allow[{}] -- <why>".format(",".join(pragma.codes))
+                ),
+            )
+        )
+
+    # A --rules subset would misread pragmas for unselected rules as
+    # stale, so staleness is only judged on full-rule-set runs.
+    stale = suppressions.unused() if report_unused else []
+    if stale and fix_suppressions and path.exists():
+        fixed = strip_suppressions(ctx.lines, stale)
+        text = "\n".join(fixed)
+        if source.endswith("\n"):
+            text += "\n"
+        # Lazy import: repro.check must stay importable without pulling
+        # the resilience package in (and this is a cold, explicit path).
+        from repro.resilience.atomic import atomic_write_text
+
+        atomic_write_text(path, text)
+        return
+    for pragma in stale:
+        report.findings.append(
+            Finding(
+                code=META_UNUSED_SUPPRESSION,
+                rule="unused-suppression",
+                path=display,
+                line=pragma.line,
+                col=0,
+                message=(
+                    "suppression [{}] matches no finding; delete it or "
+                    "run `repro check --fix-suppressions`".format(
+                        ",".join(pragma.codes)
+                    )
+                ),
+            )
+        )

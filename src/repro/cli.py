@@ -23,6 +23,10 @@ Subcommands
 ``cache``
     Verify the sweep result cache (checksum every entry) or garbage-
     collect corrupt/legacy/quarantined entries.
+``check``
+    Run the contract-aware static analyzer (determinism lint, hot-path
+    allocation audit, policy-API conformance, IO hygiene) over source
+    paths. See ``docs/STATIC_ANALYSIS.md``.
 
 Resilience (see ``docs/RESILIENCE.md``): ``run`` accepts
 ``--timeout/--retries`` (supervised worker execution), ``--journal``
@@ -40,6 +44,7 @@ from typing import List, Optional
 from repro.analysis.competitive import run_scenario
 from repro.analysis.sweep import SweepResult
 from repro.core.errors import (
+    ConfigError,
     ReproError,
     SweepExecutionError,
     SweepInterrupted,
@@ -451,6 +456,40 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Run the static analyzer; exit 0 clean, 1 findings, 2 bad usage."""
+    from repro.check import all_rules, run_check
+
+    if args.list_rules:
+        for entry in all_rules():
+            scope = ",".join(entry.scope) if entry.scope else "all modules"
+            print(f"{entry.code} {entry.name:28s} [{scope}]")
+            print(f"      {entry.summary}")
+        return 0
+    codes = None
+    if args.rules:
+        codes = [
+            code.strip().upper()
+            for chunk in args.rules
+            for code in chunk.split(",")
+            if code.strip()
+        ]
+    try:
+        report = run_check(
+            args.paths,
+            rules=codes,
+            fix_suppressions=args.fix_suppressions,
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_human())
+    return report.exit_code()
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     builder = ALL_SCENARIOS.get(args.theorem)
     if builder is None:
@@ -533,6 +572,35 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     cache_parser.set_defaults(func=_cmd_cache)
+
+    check_parser = sub.add_parser(
+        "check",
+        help="static analysis: determinism/hot-path/policy-API/IO rules",
+    )
+    check_parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    check_parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default human; json is the CI artifact)",
+    )
+    check_parser.add_argument(
+        "--rules", action="append", default=None, metavar="RCxxx",
+        help=(
+            "restrict to these rule codes (comma-separated; "
+            "repeatable)"
+        ),
+    )
+    check_parser.add_argument(
+        "--fix-suppressions", action="store_true",
+        help="delete stale allow[] pragmas (RC902) from the files",
+    )
+    check_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    check_parser.set_defaults(func=_cmd_check)
 
     scen_parser = sub.add_parser(
         "scenario", help="run an adversarial construction at custom sizes"

@@ -13,6 +13,7 @@ from repro.core.errors import (
     SweepInterrupted,
     TraceError,
 )
+from repro.core.hotpath import hot_path, is_hot_path
 from repro.core.metrics import SwitchMetrics
 from repro.core.packet import Packet
 from repro.core.queues import FifoQueue, OutputQueue, ValuePriorityQueue
@@ -44,5 +45,7 @@ __all__ = [
     "SwitchView",
     "TraceError",
     "ValuePriorityQueue",
+    "hot_path",
+    "is_hot_path",
     "push_out",
 ]

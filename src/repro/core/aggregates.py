@@ -38,44 +38,60 @@ LWD₁, MRD₁) use ``min_len=2`` views of the same aggregates.
 from __future__ import annotations
 
 from bisect import bisect_left, insort
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.errors import ConfigError
+from repro.core.hotpath import hot_path
+
+if TYPE_CHECKING:
+    from repro.core.queues import OutputQueue
 
 #: A lexicographic ordering key. By convention the LAST component is the
 #: port number, which makes keys unique and lets queries recover the
 #: port from the tuple.
-Key = Tuple
+Key = Tuple[Any, ...]
+
+#: A key function: (queue, per-port works) -> lexicographic key.
+KeyFn = Callable[["OutputQueue", Sequence[int]], Key]
 
 
-def _key_length(queue, works) -> Key:
+def _key_length(queue: "OutputQueue", works: Sequence[int]) -> Key:
     """LQD: ``(|Q_j|, w_j, j)`` — longest queue, heaviest work, port."""
     return (len(queue), works[queue.port], queue.port)
 
 
-def _key_work(queue, works) -> Key:
+def _key_work(queue: "OutputQueue", works: Sequence[int]) -> Key:
     """LWD: ``(W_j, w_j, j)`` — most residual work, heaviest, port."""
     return (queue.total_work, works[queue.port], queue.port)
 
 
-def _key_static_work(queue, works) -> Key:
+def _key_static_work(queue: "OutputQueue", works: Sequence[int]) -> Key:
     """BPD: ``(w_j, j)`` — heaviest per-packet work among eligible ports."""
     return (works[queue.port], queue.port)
 
 
-def _key_length_cheap(queue, works) -> Key:
+def _key_length_cheap(queue: "OutputQueue", works: Sequence[int]) -> Key:
     """LQD-V: ``(|Q_j|, -tail value, j)`` — longest queue, cheapest tail."""
     return (len(queue), -queue.peek_tail().value, queue.port)
 
 
-def _key_min_value(queue, works) -> Key:
+def _key_min_value(queue: "OutputQueue", works: Sequence[int]) -> Key:
     """MVD, negated: max of ``(-min value, |Q_j|, j)`` is the paper's min
     of ``(min value, -|Q_j|, -j)``. The top entry's first component is
     also (negated) the global buffered minimum value."""
     return (-queue.min_value, len(queue), queue.port)
 
 
-def _key_ratio(queue, works) -> Key:
+def _key_ratio(queue: "OutputQueue", works: Sequence[int]) -> Key:
     """MRD: ``(|Q_j| / a_j, -min value, j)``.
 
     The ratio is computed with exactly the same operations as the naive
@@ -85,7 +101,7 @@ def _key_ratio(queue, works) -> Key:
     return (len(queue) / queue.avg_value, -queue.min_value, queue.port)
 
 
-KEY_FNS: Dict[str, Callable] = {
+KEY_FNS: Dict[str, KeyFn] = {
     "length": _key_length,
     "work": _key_work,
     "static_work": _key_static_work,
@@ -109,7 +125,13 @@ class Ordering:
     __slots__ = ("kind", "min_len", "_key_fn", "_queues", "_works", "_keys",
                  "_sorted")
 
-    def __init__(self, kind: str, min_len: int, queues, works) -> None:
+    def __init__(
+        self,
+        kind: str,
+        min_len: int,
+        queues: Sequence["OutputQueue"],
+        works: Sequence[int],
+    ) -> None:
         key_fn = KEY_FNS.get(kind)
         if key_fn is None:
             raise ConfigError(
@@ -136,6 +158,7 @@ class Ordering:
         self._keys = keys
         self._sorted = sorted(k for k in keys if k is not None)
 
+    @hot_path
     def update(self, port: int) -> None:
         """Refresh one port's entry after its queue changed."""
         queue = self._queues[port]
@@ -159,11 +182,13 @@ class Ordering:
     def __len__(self) -> int:
         return len(self._sorted)
 
+    @hot_path
     def best(self) -> Optional[Key]:
         """The maximal key, or ``None`` when no port is eligible."""
         arr = self._sorted
         return arr[-1] if arr else None
 
+    @hot_path
     def best_excluding(self, port: int) -> Optional[Key]:
         """The maximal key over eligible ports other than ``port``."""
         arr = self._sorted
@@ -200,7 +225,9 @@ class AggregateIndex:
 
     __slots__ = ("_queues", "_works", "_orderings", "_registered")
 
-    def __init__(self, queues: Sequence, works: Sequence[int]) -> None:
+    def __init__(
+        self, queues: Sequence["OutputQueue"], works: Sequence[int]
+    ) -> None:
         self._queues = queues
         self._works = tuple(works)
         self._orderings: List[Ordering] = []
@@ -216,6 +243,7 @@ class AggregateIndex:
             self._orderings.append(ordering)
         return ordering
 
+    @hot_path
     def update(self, port: int) -> None:
         """Propagate one queue's change to every registered ordering."""
         for ordering in self._orderings:

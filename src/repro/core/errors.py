@@ -8,6 +8,8 @@ Programming errors (violated internal invariants) raise plain
 
 from __future__ import annotations
 
+from typing import Any, Iterable, Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
@@ -69,7 +71,13 @@ class SweepExecutionError(ReproError):
     points are missing from it).
     """
 
-    def __init__(self, message: str, *, failures=(), result=None) -> None:
+    def __init__(
+        self,
+        message: str,
+        *,
+        failures: Iterable[Any] = (),
+        result: Optional[Any] = None,
+    ) -> None:
         super().__init__(message)
         self.failures = tuple(failures)
         self.result = result

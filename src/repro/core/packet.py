@@ -30,6 +30,7 @@ from itertools import count
 from typing import Optional
 
 from repro.core.errors import TraceError
+from repro.core.hotpath import hot_path
 
 _PACKET_SEQ = count()
 
@@ -82,6 +83,7 @@ class Packet:
         """Whether the packet has received all its required processing."""
         return self.residual == 0
 
+    @hot_path
     def fresh_copy(self) -> "Packet":
         """Return a copy with full residual work and a new sequence number.
 

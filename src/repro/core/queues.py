@@ -27,6 +27,7 @@ from itertools import islice
 from typing import Iterator, List
 
 from repro.core.errors import PolicyError, TraceError
+from repro.core.hotpath import hot_path
 from repro.core.packet import Packet
 
 
@@ -135,10 +136,12 @@ class FifoQueue(OutputQueue):
         super().__init__(port)
         self._items: deque[Packet] = deque()
 
+    @hot_path
     def admit(self, packet: Packet) -> None:
         self._on_insert(packet)
         self._items.append(packet)
 
+    @hot_path
     def drop_tail(self) -> Packet:
         if not self._items:
             raise PolicyError(f"push-out from empty queue {self.port}")
@@ -146,6 +149,7 @@ class FifoQueue(OutputQueue):
         self._on_remove(victim)
         return victim
 
+    @hot_path
     def process(self, cores: int) -> List[Packet]:
         if cores < 1:
             raise PolicyError(f"process() needs cores >= 1, got {cores}")
@@ -204,12 +208,14 @@ class ValuePriorityQueue(OutputQueue):
         # insertion position lookup without key extraction on every probe.
         self._values: List[float] = []
 
+    @hot_path
     def admit(self, packet: Packet) -> None:
         self._on_insert(packet)
         pos = bisect_left(self._values, packet.value)
         self._items.insert(pos, packet)
         self._values.insert(pos, packet.value)
 
+    @hot_path
     def drop_tail(self) -> Packet:
         if not self._items:
             raise PolicyError(f"push-out from empty queue {self.port}")
@@ -218,6 +224,7 @@ class ValuePriorityQueue(OutputQueue):
         self._on_remove(victim)
         return victim
 
+    @hot_path
     def process(self, cores: int) -> List[Packet]:
         if cores < 1:
             raise PolicyError(f"process() needs cores >= 1, got {cores}")

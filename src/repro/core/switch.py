@@ -63,6 +63,7 @@ from repro.core.aggregates import AggregateIndex
 from repro.core.config import QueueDiscipline, SwitchConfig
 from repro.core.decisions import Action, Decision
 from repro.core.errors import PolicyError, TraceError
+from repro.core.hotpath import hot_path
 from repro.core.metrics import SwitchMetrics
 from repro.core.packet import Packet
 from repro.core.queues import FifoQueue, OutputQueue, ValuePriorityQueue
@@ -158,6 +159,7 @@ class SwitchView:
     def work_of(self, port: int) -> int:
         return self._switch.config.work_of(port)
 
+    @hot_path
     def nonempty_ports(self) -> Tuple[int, ...]:
         """Ports with at least one buffered packet, ascending.
 
@@ -171,6 +173,7 @@ class SwitchView:
             cached = switch._nonempty_cache = tuple(switch._active_ports)
         return cached
 
+    @hot_path
     def queue_packets(self, port: int) -> Tuple[Packet, ...]:
         """Snapshot of queue contents head-to-tail (tests and debugging).
 
@@ -184,6 +187,7 @@ class SwitchView:
             switch._packets_cache[port] = cached
         return cached
 
+    @hot_path
     def buffer_min_value(self) -> Optional[float]:
         """The minimal value over all buffered packets, or ``None`` when
         the buffer is empty. Used by MVD/MRD admission tests."""
@@ -271,6 +275,7 @@ class SharedMemorySwitch:
     # Change notification (the single funnel for queue mutations)
     # ------------------------------------------------------------------
 
+    @hot_path
     def _queue_changed(self, port: int) -> None:
         """Refresh acceleration state after ``queues[port]`` mutated."""
         nonempty = len(self.queues[port]) > 0
@@ -311,6 +316,7 @@ class SharedMemorySwitch:
         for packet in arrivals:
             self.offer(packet, policy)
 
+    @hot_path
     def offer(self, packet: Packet, policy: AdmissionPolicy) -> Decision:
         """Process a single arrival; returns the decision for observability."""
         self._validate_arrival(packet)
@@ -328,6 +334,7 @@ class SharedMemorySwitch:
         )
         return decision
 
+    @hot_path
     def apply(self, packet: Packet, decision: Decision) -> None:
         """Validate and execute a policy decision for ``packet``."""
         if decision.action is Action.DROP:
@@ -387,6 +394,7 @@ class SharedMemorySwitch:
     # Transmission phase
     # ------------------------------------------------------------------
 
+    @hot_path
     def transmission_phase(self) -> List[Packet]:
         """Process every non-empty queue once and collect transmissions.
 

@@ -31,7 +31,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Union
+from pathlib import Path
+from typing import IO, Dict, Iterable, List, Optional, Union
 
 from repro.core.errors import TraceError
 from repro.core.metrics import SwitchMetrics
@@ -113,7 +114,7 @@ def _diff_metrics(replayed: SwitchMetrics, recorded: SwitchMetrics) -> str:
 class TraceReplayer:
     """Replays one event trace; see the module docstring for the laws."""
 
-    def replay(self, source: Union[str, "object"]) -> ReplayResult:
+    def replay(self, source: Union[str, Path, IO[str]]) -> ReplayResult:
         return self.replay_events(read_events(source))
 
     def replay_events(
@@ -461,6 +462,6 @@ class TraceReplayer:
             )
 
 
-def replay_trace(source) -> ReplayResult:
+def replay_trace(source: Union[str, Path, IO[str]]) -> ReplayResult:
     """One-call façade: replay ``source`` and return the result."""
     return TraceReplayer().replay(source)

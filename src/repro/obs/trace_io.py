@@ -33,6 +33,7 @@ import os
 from pathlib import Path
 from typing import (
     IO,
+    TYPE_CHECKING,
     Dict,
     Iterator,
     Mapping,
@@ -45,6 +46,11 @@ from repro.core.errors import TraceError
 from repro.core.metrics import SwitchMetrics
 from repro.obs.observer import PacketEvent, SlotObserver
 from repro.resilience.atomic import tmp_path_for
+
+if TYPE_CHECKING:
+    from repro.core.config import SwitchConfig
+    from repro.policies.base import Policy
+    from repro.traffic.trace import Trace
 
 #: Version of the JSONL event grammar; bumped on incompatible changes.
 EVENT_SCHEMA_VERSION = 1
@@ -86,6 +92,7 @@ class JsonlTraceWriter(SlotObserver):
             self._final_path = Path(sink)
             self._final_path.parent.mkdir(parents=True, exist_ok=True)
             self._tmp_path = tmp_path_for(self._final_path)
+            # repro: allow[RC403] -- streams to the atomic module's sibling tmp path; close() publishes via os.replace, abort() discards
             self._handle: IO[str] = self._tmp_path.open(
                 "w", encoding="utf-8"
             )
@@ -275,9 +282,9 @@ def read_events(source: _Sink) -> Iterator[Dict[str, object]]:
 
 
 def record_trace(
-    policy,
-    trace,
-    config,
+    policy: "Policy",
+    trace: "Trace",
+    config: "SwitchConfig",
     sink: _Sink,
     *,
     flush_every: Optional[int] = None,

@@ -136,6 +136,7 @@ def make_policy(name: str) -> Policy:
         raise ConfigError(f"unknown policy {name!r}; known: {known}")
     return entry.factory()
 
+
 def policy_entry(name: str) -> PolicyEntry:
     """Look up the registry record for ``name``."""
     entry = _REGISTRY.get(name.lower())

@@ -80,6 +80,7 @@ class RunJournal:
         if self.path.exists():
             restored = self._load(identity)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        # repro: allow[RC403] -- the journal is an append-only WAL: flush-per-record by design, torn tails tolerated by _load
         self._handle = self.path.open("a", encoding="utf-8")
         self._header = identity
         if self.path.stat().st_size == 0:

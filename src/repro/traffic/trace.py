@@ -143,24 +143,33 @@ class Trace:
     # ------------------------------------------------------------------
 
     def dump_jsonl(self, path: Path | str) -> None:
-        """Write the trace as JSON lines: one array of packet dicts per slot."""
-        path = Path(path)
-        with path.open("w", encoding="utf-8") as handle:
-            for burst in self.slots:
-                row = [
-                    {
-                        "port": p.port,
-                        "work": p.work,
-                        "value": p.value,
-                        **(
-                            {"opt": p.opt_accept}
-                            if p.opt_accept is not None
-                            else {}
-                        ),
-                    }
-                    for p in burst
-                ]
-                handle.write(json.dumps(row) + "\n")
+        """Write the trace as JSON lines: one array of packet dicts per slot.
+
+        The file is published atomically (tmp + fsync + rename): a
+        process killed mid-dump leaves the previous trace or none, so a
+        saved trace can never be half a trace.
+        """
+        # Lazy import keeps repro.traffic importable without the
+        # resilience package on the path (and this is a cold path).
+        from repro.resilience.atomic import atomic_write_text
+
+        rows = []
+        for burst in self.slots:
+            row = [
+                {
+                    "port": p.port,
+                    "work": p.work,
+                    "value": p.value,
+                    **(
+                        {"opt": p.opt_accept}
+                        if p.opt_accept is not None
+                        else {}
+                    ),
+                }
+                for p in burst
+            ]
+            rows.append(json.dumps(row))
+        atomic_write_text(path, "\n".join(rows) + "\n" if rows else "")
 
     @classmethod
     def load_jsonl(cls, path: Path | str) -> "Trace":

@@ -1,0 +1,77 @@
+# repro: module=repro.traffic.bad_corpus
+"""Known-bad determinism corpus: every RC1xx rule fires in here.
+
+This file is *fixture data* for ``tests/test_check_rules.py`` — it is
+never imported, only parsed by ``repro.check``. The module pragma above
+pins it inside the deterministic scope so the RC1xx rules apply. Each
+violating line names its expected code; ``golden.json`` holds the
+exact (code, line) set the analyzer must produce.
+"""
+
+import os
+import random
+import time
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def stamp_run(results):
+    results["wall"] = time.time()  # RC101
+    return results
+
+
+def salt():
+    return os.urandom(8)  # RC102
+
+
+def jitter():
+    random.seed(1234)  # RC103 (global RNG state)
+    return random.random()  # RC103
+
+
+def legacy_numpy():
+    np.random.seed(0)  # RC103
+    return np.random.uniform()  # RC103
+
+
+def unseeded():
+    return default_rng()  # RC103
+
+
+def sampler():
+    return random.SystemRandom()  # RC103
+
+
+def visit(ports):
+    total = 0
+    for port in {1, 2, 3}:  # RC104
+        total += port
+    return total + sum(p for p in set(ports))  # RC104
+
+
+def materialize(ports):
+    return list(set(ports))  # RC104
+
+
+def order(packets):
+    return sorted(packets, key=id)  # RC105
+
+
+# -- negative space: all of this must stay clean -----------------------
+
+
+def seeded(seed):
+    return default_rng(seed)
+
+
+def seeded_kw(seed):
+    return default_rng(seed=seed)
+
+
+def stable(ports):
+    return [p for p in sorted(set(ports))]
+
+
+def dedupe(ports):
+    return sorted(set(ports))

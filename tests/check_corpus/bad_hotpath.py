@@ -1,0 +1,71 @@
+# repro: module=repro.core.bad_corpus
+"""Known-bad hot-path corpus: every RC2xx rule fires in here.
+
+Fixture data for ``tests/test_check_rules.py`` — parsed, never
+imported. Only functions carrying the ``@hot_path`` marker are
+audited; the trailing "negative space" functions prove the rules stay
+quiet off the fast path and inside ``raise`` statements.
+"""
+
+from repro.core.hotpath import hot_path
+
+
+@hot_path
+def select_victim(queues):
+    scorer = lambda q: q.value  # RC201
+
+    def tiebreak(q):  # RC201
+        return q.port
+
+    best = None
+    for q in queues:
+        sizes = [p.work for p in q.packets]  # RC202
+        if best is None or scorer(q) < scorer(best):
+            best = q
+        tiebreak(sizes)
+    return best
+
+
+@hot_path
+def describe(switch):
+    label = f"switch-{switch.n_ports}"  # RC203
+    label += "{}".format(switch.buffer_size)  # RC203
+    label += "%d" % switch.speedup  # RC203
+    return label
+
+
+@hot_path
+def drain(switch, slots):
+    moved = 0
+    for _ in range(slots):
+        if switch.buffer.occupancy == 0:  # RC204: chain read 3x in loop
+            break
+        moved += switch.buffer.occupancy
+        moved -= switch.buffer.occupancy // 2
+    return moved
+
+
+# -- negative space: all of this must stay clean -----------------------
+
+
+@hot_path
+def guarded(switch):
+    if switch.n_ports < 1:
+        raise ValueError(f"bad switch: {switch.n_ports} ports")
+    head = switch.buffer
+    return head.occupancy + head.size
+
+
+@hot_path
+def walker(chain):
+    total = 0
+    for _ in range(3):
+        total += chain.link.weight
+        chain = chain.link.next  # root rebound: chain not hoistable
+        total += chain.link.weight
+    return total
+
+
+def cold(queues):
+    # not @hot_path: closures and f-strings are fine off the fast path
+    return sorted(queues, key=lambda q: q.port), f"{len(queues)}"

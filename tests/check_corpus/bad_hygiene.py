@@ -1,0 +1,68 @@
+# repro: module=repro.analysis.bad_hygiene_corpus
+"""Known-bad hygiene corpus: every RC4xx rule fires in here.
+
+Fixture data for ``tests/test_check_rules.py`` — parsed, never
+imported. The negative-space functions pin down the rules' exemptions:
+re-raising ``BaseException`` handlers, named exception tuples, read
+mode, and mode-shaped filenames.
+"""
+
+import json
+from pathlib import Path
+
+
+def swallow_everything(task):
+    try:
+        task()
+    except:  # RC401
+        return None
+
+
+def swallow_interrupts(task):
+    try:
+        task()
+    except BaseException:  # RC402
+        return None
+
+
+def torn_report(path, payload):
+    with open(path, "w", encoding="utf-8") as handle:  # RC403
+        json.dump(payload, handle)
+
+
+def torn_append(path, line):
+    handle = Path(path).open("a")  # RC403
+    handle.write(line)
+    handle.close()
+
+
+def torn_text(path, text):
+    Path(path).write_text(text)  # RC403
+
+
+# -- negative space: all of this must stay clean -----------------------
+
+
+def loud(task):
+    try:
+        task()
+    except BaseException:
+        raise  # re-raising handler is fine
+
+
+def careful(task):
+    try:
+        task()
+    except (ValueError, KeyError):
+        return None
+    return True
+
+
+def reader(path):
+    with open(path, "r", encoding="utf-8") as handle:  # read mode: fine
+        return handle.read()
+
+
+def tricky_name():
+    # a positional *path* that looks nothing like a mode is not a mode
+    return open("wax.txt").read()

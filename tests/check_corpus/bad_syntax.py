@@ -1,0 +1,3 @@
+# repro: module=repro.analysis.bad_syntax_corpus
+def broken(:
+    pass

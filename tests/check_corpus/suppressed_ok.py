@@ -1,0 +1,24 @@
+# repro: module=repro.analysis.suppressed_corpus
+"""Suppression-mechanics corpus: justified, unjustified, stale pragmas.
+
+Fixture data for ``tests/test_check_rules.py``. Exactly one finding in
+this file is silenced (the justified pragma in ``published``); the
+unjustified pragma suppresses nothing and earns RC901 on top of the
+original RC403; the stale pragma in ``fresh`` earns RC902.
+"""
+
+from pathlib import Path
+
+
+def published(path, text):
+    # repro: allow[RC403] -- corpus fixture standing in for a hand-rolled atomic writer
+    Path(path).write_text(text)
+
+
+def hushed_badly(path, text):
+    Path(path).write_text(text)  # repro: allow[RC403]
+
+
+def fresh(path):
+    # repro: allow[RC401] -- stale on purpose: nothing below ever catches anything
+    return Path(path).exists()

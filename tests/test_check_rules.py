@@ -1,0 +1,797 @@
+"""Tests for :mod:`repro.check` — the contract-aware static analyzer.
+
+Three layers:
+
+* **Golden corpus.** ``tests/check_corpus/`` holds known-bad fixture
+  files (one per rule pack) and ``golden.json`` with the exact
+  ``(code, path, line, col)`` set the analyzer must produce. Any rule
+  regression — missed finding, phantom finding, shifted anchor —
+  diffs against the golden set.
+* **Unit cases.** Each rule gets focused positive *and* negative
+  sources through :func:`repro.check.check_source`, pinning the
+  exemptions (seeded RNGs, ``raise`` formatting, self-like access,
+  re-raising handlers, the atomic module itself).
+* **Meta.** The analyzer holds at HEAD: ``repro check src/`` is clean,
+  and the CLI's exit codes / JSON schema are stable.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.check import (
+    all_rules,
+    check_source,
+    get_rule,
+    run_check,
+)
+from repro.check.findings import REPORT_SCHEMA_VERSION
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parent.parent
+CORPUS = Path(__file__).resolve().parent / "check_corpus"
+
+EXPECTED_CODES = {
+    "RC101", "RC102", "RC103", "RC104", "RC105",
+    "RC201", "RC202", "RC203", "RC204",
+    "RC301", "RC302", "RC303",
+    "RC401", "RC402", "RC403",
+}
+
+
+def codes_of(report):
+    return [f.code for f in report.findings]
+
+
+def check_snippet(source, module, *, rules=None):
+    """Run the analyzer over a source string pinned to ``module``."""
+    pragma = f"# repro: module={module}\n"
+    return check_source(pragma + source, rules=rules)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_all_fifteen_rules_registered(self):
+        assert {r.code for r in all_rules()} == EXPECTED_CODES
+
+    def test_rules_sorted_by_code(self):
+        codes = [r.code for r in all_rules()]
+        assert codes == sorted(codes)
+
+    def test_get_rule_round_trip(self):
+        rule = get_rule("RC403")
+        assert rule.name == "non-atomic-write"
+        with pytest.raises(Exception):
+            get_rule("RC999")
+
+    def test_every_rule_has_summary(self):
+        for rule in all_rules():
+            assert rule.summary, rule.code
+
+
+# ----------------------------------------------------------------------
+# Golden corpus
+# ----------------------------------------------------------------------
+
+
+class TestGoldenCorpus:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads((CORPUS / "golden.json").read_text())
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_check([CORPUS])
+
+    def test_findings_match_golden_exactly(self, golden, report):
+        got = [
+            {
+                "code": f.code,
+                "rule": f.rule,
+                "path": str(Path(f.path).relative_to(CORPUS.parent.parent)
+                            if Path(f.path).is_absolute() else f.path),
+                "line": f.line,
+                "col": f.col,
+            }
+            for f in report.findings
+        ]
+        want = golden["findings"]
+        assert got == want
+
+    def test_corpus_exercises_every_rule(self, golden):
+        fired = {f["code"] for f in golden["findings"]}
+        assert EXPECTED_CODES <= fired
+        # ... and all three meta codes.
+        assert {"RC900", "RC901", "RC902"} <= fired
+
+    def test_suppressed_count(self, golden, report):
+        assert report.suppressed == golden["suppressed"] == 1
+
+    def test_files_scanned(self, golden, report):
+        assert report.files_scanned == golden["files_scanned"] == 6
+
+
+# ----------------------------------------------------------------------
+# Determinism rules (RC1xx)
+# ----------------------------------------------------------------------
+
+
+class TestDeterminismRules:
+    def test_wall_clock_flagged(self):
+        report = check_snippet(
+            "import time\nt = time.time()\n", "repro.core.x"
+        )
+        assert "RC101" in codes_of(report)
+
+    def test_wall_clock_ok_outside_scope(self):
+        report = check_snippet(
+            "import time\nt = time.time()\n", "repro.analysis.x"
+        )
+        assert "RC101" not in codes_of(report)
+
+    def test_perf_counter_flagged(self):
+        report = check_snippet(
+            "import time\nt = time.perf_counter()\n", "repro.opt.x"
+        )
+        assert "RC101" in codes_of(report)
+
+    def test_entropy_flagged(self):
+        report = check_snippet(
+            "import os\nb = os.urandom(4)\n", "repro.traffic.x"
+        )
+        assert "RC102" in codes_of(report)
+
+    def test_uuid4_flagged_via_from_import(self):
+        report = check_snippet(
+            "from uuid import uuid4\nu = uuid4()\n", "repro.core.x"
+        )
+        assert "RC102" in codes_of(report)
+
+    def test_global_random_flagged(self):
+        report = check_snippet(
+            "import random\nr = random.random()\n", "repro.policies.x"
+        )
+        assert "RC103" in codes_of(report)
+
+    def test_numpy_alias_resolved(self):
+        report = check_snippet(
+            "import numpy as np\nnp.random.seed(0)\n", "repro.core.x"
+        )
+        assert "RC103" in codes_of(report)
+
+    def test_unseeded_default_rng_flagged(self):
+        report = check_snippet(
+            "from numpy.random import default_rng\ng = default_rng()\n",
+            "repro.traffic.x",
+        )
+        assert "RC103" in codes_of(report)
+
+    def test_seeded_default_rng_ok(self):
+        report = check_snippet(
+            "from numpy.random import default_rng\n"
+            "def make(seed):\n    return default_rng(seed)\n",
+            "repro.traffic.x",
+        )
+        assert report.clean
+
+    def test_seeded_kw_ok(self):
+        report = check_snippet(
+            "import numpy as np\n"
+            "def make(seed):\n"
+            "    return np.random.default_rng(seed=seed)\n",
+            "repro.core.x",
+        )
+        assert report.clean
+
+    def test_set_iteration_flagged(self):
+        report = check_snippet(
+            "def f(xs):\n"
+            "    for x in set(xs):\n"
+            "        print(x)\n",
+            "repro.core.x",
+        )
+        assert "RC104" in codes_of(report)
+
+    def test_sorted_set_iteration_ok(self):
+        report = check_snippet(
+            "def f(xs):\n"
+            "    return [x for x in sorted(set(xs))]\n",
+            "repro.core.x",
+        )
+        assert report.clean
+
+    def test_list_of_set_flagged(self):
+        report = check_snippet(
+            "def f(xs):\n    return list(set(xs))\n", "repro.core.x"
+        )
+        assert "RC104" in codes_of(report)
+
+    def test_id_key_flagged(self):
+        report = check_snippet(
+            "def f(xs):\n    return sorted(xs, key=id)\n", "repro.core.x"
+        )
+        assert "RC105" in codes_of(report)
+
+    def test_id_in_lambda_key_flagged(self):
+        report = check_snippet(
+            "def f(xs):\n"
+            "    xs.sort(key=lambda p: (p.port, id(p)))\n",
+            "repro.core.x",
+        )
+        assert "RC105" in codes_of(report)
+
+    def test_stable_key_ok(self):
+        report = check_snippet(
+            "def f(xs):\n"
+            "    return sorted(xs, key=lambda p: p.seq)\n",
+            "repro.core.x",
+        )
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# Hot-path rules (RC2xx)
+# ----------------------------------------------------------------------
+
+HOT = "from repro.core.hotpath import hot_path\n"
+
+
+class TestHotPathRules:
+    def test_closure_flagged(self):
+        report = check_snippet(
+            HOT + "@hot_path\ndef f(xs):\n"
+            "    return sorted(xs, key=lambda x: x.v)\n",
+            "repro.core.x",
+        )
+        assert "RC201" in codes_of(report)
+
+    def test_closure_ok_off_hot_path(self):
+        report = check_snippet(
+            "def f(xs):\n    return sorted(xs, key=lambda x: x.v)\n",
+            "repro.analysis.x",
+        )
+        assert report.clean
+
+    def test_loop_comprehension_flagged(self):
+        report = check_snippet(
+            HOT + "@hot_path\ndef f(rows):\n"
+            "    out = []\n"
+            "    for row in rows:\n"
+            "        out.append([c * 2 for c in row])\n"
+            "    return out\n",
+            "repro.core.x",
+        )
+        assert "RC202" in codes_of(report)
+
+    def test_loop_iter_comprehension_exempt(self):
+        # The iterable itself evaluates once per loop entry, not per
+        # iteration — building it with a comprehension is fine.
+        report = check_snippet(
+            HOT + "@hot_path\ndef f(rows):\n"
+            "    total = 0\n"
+            "    for x in [r.v for r in rows]:\n"
+            "        total += x\n"
+            "    return total\n",
+            "repro.core.x",
+        )
+        assert "RC202" not in codes_of(report)
+
+    def test_fstring_flagged(self):
+        report = check_snippet(
+            HOT + "@hot_path\ndef f(x):\n    return f'{x}'\n",
+            "repro.core.x",
+        )
+        assert "RC203" in codes_of(report)
+
+    def test_fstring_in_raise_exempt(self):
+        report = check_snippet(
+            HOT + "@hot_path\ndef f(x):\n"
+            "    if x < 0:\n"
+            "        raise ValueError(f'bad {x}')\n"
+            "    return x\n",
+            "repro.core.x",
+        )
+        assert report.clean
+
+    def test_attr_chain_flagged_at_threshold(self):
+        report = check_snippet(
+            HOT + "@hot_path\ndef f(s, n):\n"
+            "    t = 0\n"
+            "    for _ in range(n):\n"
+            "        t += s.buf.occ\n"
+            "        t += s.buf.occ\n"
+            "        t += s.buf.occ\n"
+            "    return t\n",
+            "repro.core.x",
+        )
+        assert codes_of(report).count("RC204") == 1
+
+    def test_attr_chain_below_threshold_ok(self):
+        report = check_snippet(
+            HOT + "@hot_path\ndef f(s, n):\n"
+            "    t = 0\n"
+            "    for _ in range(n):\n"
+            "        t += s.buf.occ\n"
+            "        t += s.buf.occ\n"
+            "    return t\n",
+            "repro.core.x",
+        )
+        assert "RC204" not in codes_of(report)
+
+    def test_attr_chain_rebound_root_ok(self):
+        report = check_snippet(
+            HOT + "@hot_path\ndef f(node, n):\n"
+            "    t = 0\n"
+            "    for _ in range(n):\n"
+            "        t += node.link.w\n"
+            "        node = node.link.next\n"
+            "        t += node.link.w\n"
+            "    return t\n",
+            "repro.core.x",
+        )
+        assert "RC204" not in codes_of(report)
+
+    def test_shallow_attr_ok(self):
+        # Single-hop lookups (self.x) are not worth a finding.
+        report = check_snippet(
+            HOT + "@hot_path\ndef f(s, n):\n"
+            "    t = 0\n"
+            "    for _ in range(n):\n"
+            "        t += s.occ\n"
+            "        t += s.occ\n"
+            "        t += s.occ\n"
+            "    return t\n",
+            "repro.core.x",
+        )
+        assert "RC204" not in codes_of(report)
+
+
+# ----------------------------------------------------------------------
+# Policy-API rules (RC3xx)
+# ----------------------------------------------------------------------
+
+
+class TestPolicyRules:
+    def test_private_access_flagged(self):
+        report = check_snippet(
+            "class P:\n"
+            "    def decide(self, view, pkt):\n"
+            "        return view._queues\n",
+            "repro.policies.x",
+        )
+        assert "RC301" in codes_of(report)
+
+    def test_private_on_self_ok(self):
+        report = check_snippet(
+            "class P:\n"
+            "    def decide(self, view, pkt):\n"
+            "        return self._rng\n",
+            "repro.policies.x",
+        )
+        assert report.clean
+
+    def test_dunder_exempt(self):
+        report = check_snippet(
+            "class P:\n"
+            "    def decide(self, view, pkt):\n"
+            "        return type(pkt).__name__\n",
+            "repro.policies.x",
+        )
+        assert report.clean
+
+    def test_scope_limited_to_policies(self):
+        report = check_snippet(
+            "def probe(view):\n    return view._queues\n",
+            "repro.analysis.x",
+        )
+        assert "RC301" not in codes_of(report)
+
+    def test_foreign_mutation_flagged(self):
+        report = check_snippet(
+            "class P:\n"
+            "    def decide(self, view, pkt):\n"
+            "        pkt.value = 0\n",
+            "repro.policies.x",
+        )
+        assert "RC302" in codes_of(report)
+
+    def test_augassign_flagged(self):
+        report = check_snippet(
+            "class P:\n"
+            "    def decide(self, view, pkt):\n"
+            "        view.occ -= 1\n",
+            "repro.policies.x",
+        )
+        assert "RC302" in codes_of(report)
+
+    def test_own_attribute_assignment_ok(self):
+        report = check_snippet(
+            "class P:\n"
+            "    def decide(self, view, pkt):\n"
+            "        self.last = pkt.value\n",
+            "repro.policies.x",
+        )
+        assert report.clean
+
+    def test_engine_mutator_flagged(self):
+        report = check_snippet(
+            "class P:\n"
+            "    def decide(self, view, pkt):\n"
+            "        view.admit(pkt)\n",
+            "repro.policies.x",
+        )
+        assert "RC303" in codes_of(report)
+
+    def test_mutator_on_self_ok(self):
+        report = check_snippet(
+            "class P:\n"
+            "    def decide(self, view, pkt):\n"
+            "        return self.process(pkt)\n"
+            "    def process(self, pkt):\n"
+            "        return None\n",
+            "repro.policies.x",
+        )
+        assert report.clean
+
+    def test_same_module_class_ok(self):
+        report = check_snippet(
+            "class _Helper:\n"
+            "    @staticmethod\n"
+            "    def _score(pkt):\n"
+            "        return pkt.value\n"
+            "class P:\n"
+            "    def decide(self, view, pkt):\n"
+            "        return _Helper._score(pkt)\n",
+            "repro.policies.x",
+        )
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# Hygiene rules (RC4xx)
+# ----------------------------------------------------------------------
+
+
+class TestHygieneRules:
+    def test_bare_except_flagged(self):
+        report = check_snippet(
+            "def f(t):\n"
+            "    try:\n        t()\n"
+            "    except:\n        pass\n",
+            "repro.analysis.x",
+        )
+        assert codes_of(report) == ["RC401"]  # no RC402 double-report
+
+    def test_swallowed_base_exception_flagged(self):
+        report = check_snippet(
+            "def f(t):\n"
+            "    try:\n        t()\n"
+            "    except BaseException:\n        pass\n",
+            "repro.analysis.x",
+        )
+        assert "RC402" in codes_of(report)
+
+    def test_reraising_handler_ok(self):
+        report = check_snippet(
+            "def f(t):\n"
+            "    try:\n        t()\n"
+            "    except BaseException:\n        raise\n",
+            "repro.analysis.x",
+        )
+        assert report.clean
+
+    def test_supervisor_module_exempt(self):
+        report = check_snippet(
+            "def f(t):\n"
+            "    try:\n        t()\n"
+            "    except BaseException:\n        pass\n",
+            "repro.resilience.supervisor",
+        )
+        assert "RC402" not in codes_of(report)
+
+    def test_named_exceptions_ok(self):
+        report = check_snippet(
+            "def f(t):\n"
+            "    try:\n        t()\n"
+            "    except (ValueError, OSError):\n        pass\n",
+            "repro.analysis.x",
+        )
+        assert report.clean
+
+    def test_write_mode_open_flagged(self):
+        report = check_snippet(
+            "def f(p, s):\n"
+            "    with open(p, 'w') as h:\n        h.write(s)\n",
+            "repro.analysis.x",
+        )
+        assert "RC403" in codes_of(report)
+
+    def test_path_open_append_flagged(self):
+        report = check_snippet(
+            "from pathlib import Path\n"
+            "def f(p, s):\n"
+            "    Path(p).open('a').write(s)\n",
+            "repro.analysis.x",
+        )
+        assert "RC403" in codes_of(report)
+
+    def test_write_text_flagged(self):
+        report = check_snippet(
+            "from pathlib import Path\n"
+            "def f(p, s):\n"
+            "    Path(p).write_text(s)\n",
+            "repro.analysis.x",
+        )
+        assert "RC403" in codes_of(report)
+
+    def test_read_mode_ok(self):
+        report = check_snippet(
+            "def f(p):\n"
+            "    with open(p, 'r', encoding='utf-8') as h:\n"
+            "        return h.read()\n",
+            "repro.analysis.x",
+        )
+        assert report.clean
+
+    def test_mode_shaped_filename_not_flagged(self):
+        report = check_snippet(
+            "def f():\n    return open('wax.txt').read()\n",
+            "repro.analysis.x",
+        )
+        assert report.clean
+
+    def test_atomic_module_exempt(self):
+        report = check_snippet(
+            "def atomic_write_text(p, s):\n"
+            "    with open(p, 'w') as h:\n        h.write(s)\n",
+            "repro.resilience.atomic",
+        )
+        assert "RC403" not in codes_of(report)
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+BAD_WRITE = "from pathlib import Path\ndef f(p, s):\n"
+
+
+class TestSuppressions:
+    def test_justified_trailing_pragma_suppresses(self):
+        report = check_snippet(
+            BAD_WRITE
+            + "    Path(p).write_text(s)"
+            + "  # repro: allow[RC403] -- test fixture\n",
+            "repro.analysis.x",
+        )
+        assert report.clean
+        assert report.suppressed == 1
+
+    def test_justified_standalone_pragma_suppresses(self):
+        report = check_snippet(
+            BAD_WRITE
+            + "    # repro: allow[RC403] -- test fixture\n"
+            + "    Path(p).write_text(s)\n",
+            "repro.analysis.x",
+        )
+        assert report.clean
+        assert report.suppressed == 1
+
+    def test_unjustified_pragma_is_rc901_and_does_not_suppress(self):
+        report = check_snippet(
+            BAD_WRITE
+            + "    Path(p).write_text(s)  # repro: allow[RC403]\n",
+            "repro.analysis.x",
+        )
+        assert sorted(codes_of(report)) == ["RC403", "RC901"]
+
+    def test_stale_pragma_is_rc902(self):
+        report = check_snippet(
+            "# repro: allow[RC401] -- stale\nx = 1\n",
+            "repro.analysis.x",
+        )
+        assert "RC902" in codes_of(report)
+
+    def test_wrong_code_does_not_suppress(self):
+        report = check_snippet(
+            BAD_WRITE
+            + "    Path(p).write_text(s)  # repro: allow[RC401] -- wrong\n",
+            "repro.analysis.x",
+        )
+        codes = codes_of(report)
+        assert "RC403" in codes and "RC902" in codes
+
+    def test_multi_code_pragma(self):
+        report = check_snippet(
+            "class P:\n"
+            "    def decide(self, view, pkt):\n"
+            "        # repro: allow[RC301,RC303] -- differential probe\n"
+            "        return view._queues, view.admit(pkt)\n",
+            "repro.policies.x",
+        )
+        assert report.clean
+        assert report.suppressed == 2
+
+    def test_meta_codes_not_suppressible(self):
+        # A pragma cannot silence "your pragma is unjustified".
+        report = check_snippet(
+            BAD_WRITE
+            + "    Path(p).write_text(s)"
+            + "  # repro: allow[RC403,RC901]\n",
+            "repro.analysis.x",
+        )
+        assert "RC901" in codes_of(report)
+
+    def test_rules_subset_skips_staleness(self):
+        # Under --rules RC101 an RC403 pragma must not be called stale.
+        source = (
+            BAD_WRITE
+            + "    Path(p).write_text(s)"
+            + "  # repro: allow[RC403] -- fine\n"
+        )
+        full = check_snippet(source, "repro.analysis.x")
+        subset = check_snippet(source, "repro.analysis.x", rules=["RC101"])
+        assert full.clean
+        assert subset.clean and subset.suppressed == 0
+
+    def test_fix_suppressions_strips_stale_pragmas(self, tmp_path):
+        target = tmp_path / "stale.py"
+        target.write_text(
+            "# repro: module=repro.analysis.x\n"
+            "# repro: allow[RC401] -- stale standalone\n"
+            "x = 1  # repro: allow[RC403] -- stale trailing\n"
+        )
+        report = run_check([target], fix_suppressions=True)
+        assert report.clean
+        text = target.read_text()
+        assert "allow[" not in text
+        assert "x = 1\n" in text
+        # Second pass: nothing left to fix, still clean.
+        assert run_check([target]).clean
+
+    def test_fix_suppressions_keeps_used_pragmas(self, tmp_path):
+        target = tmp_path / "used.py"
+        source = (
+            "# repro: module=repro.analysis.x\n"
+            "from pathlib import Path\n"
+            "def f(p, s):\n"
+            "    Path(p).write_text(s)"
+            "  # repro: allow[RC403] -- needed\n"
+        )
+        target.write_text(source)
+        run_check([target], fix_suppressions=True)
+        assert target.read_text() == source
+
+
+# ----------------------------------------------------------------------
+# Report plumbing, module identity, CLI
+# ----------------------------------------------------------------------
+
+
+class TestReport:
+    def test_json_schema(self):
+        report = check_snippet("import time\nt = time.time()\n",
+                               "repro.core.x")
+        data = report.as_dict()
+        assert data["schema"] == REPORT_SCHEMA_VERSION
+        assert set(data) == {
+            "schema", "files_scanned", "suppressed", "findings"
+        }
+        (finding,) = data["findings"]
+        assert set(finding) == {
+            "code", "rule", "path", "line", "col", "message"
+        }
+
+    def test_findings_sorted_by_location(self):
+        report = run_check([CORPUS])
+        keys = [(f.path, f.line, f.col, f.code) for f in report.findings]
+        assert keys == sorted(keys)
+
+    def test_parse_error_is_rc900(self):
+        report = check_source("def broken(:\n")
+        assert codes_of(report) == ["RC900"]
+
+    def test_module_name_from_src_layout(self):
+        report = run_check(
+            [REPO / "src" / "repro" / "core" / "packet.py"]
+        )
+        # packet.py is in the deterministic scope and clean at HEAD.
+        assert report.clean
+
+    def test_exit_codes(self):
+        clean = check_snippet("x = 1\n", "repro.analysis.x")
+        dirty = check_snippet("import time\nt = time.time()\n",
+                              "repro.core.x")
+        assert clean.exit_code() == 0
+        assert dirty.exit_code() == 1
+
+
+class TestCli:
+    def test_check_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("# repro: module=repro.analysis.x\nx = 1\n")
+        assert main(["check", str(target)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_check_dirty_file_exits_one(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(
+            "# repro: module=repro.core.x\n"
+            "import time\nt = time.time()\n"
+        )
+        assert main(["check", str(target)]) == 1
+        assert "RC101" in capsys.readouterr().out
+
+    def test_check_json_format(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(
+            "# repro: module=repro.core.x\n"
+            "import time\nt = time.time()\n"
+        )
+        assert main(["check", "--format", "json", str(target)]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["schema"] == REPORT_SCHEMA_VERSION
+        assert data["findings"][0]["code"] == "RC101"
+
+    def test_check_rules_filter(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(
+            "# repro: module=repro.core.x\n"
+            "import time\nimport random\n"
+            "t = time.time()\nr = random.random()\n"
+        )
+        assert main(["check", "--rules", "RC103", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "RC103" in out and "RC101" not in out
+
+    def test_check_list_rules(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in sorted(EXPECTED_CODES):
+            assert code in out
+
+    def test_check_unknown_rule_is_usage_error(self, capsys):
+        assert main(["check", "--rules", "RC999", "src"]) == 2
+
+    def test_check_missing_path_is_usage_error(self, capsys):
+        assert main(["check", "does/not/exist"]) == 2
+
+    def test_check_fix_suppressions_cli(self, tmp_path, capsys):
+        target = tmp_path / "stale.py"
+        target.write_text(
+            "# repro: module=repro.analysis.x\n"
+            "# repro: allow[RC401] -- stale\n"
+            "x = 1\n"
+        )
+        assert main(["check", "--fix-suppressions", str(target)]) == 0
+        assert "allow[" not in target.read_text()
+
+
+class TestHead:
+    """The analyzer's contract with this repository, at HEAD."""
+
+    def test_src_tree_is_clean(self):
+        report = run_check([REPO / "src"])
+        assert report.clean, report.format_human()
+
+    def test_src_tree_has_justified_suppressions(self):
+        # The hand-rolled atomic writers carry exactly four justified
+        # pragmas (cache torn-write fixture, cache tmp protocol, trace
+        # writer tmp protocol, append-mode journal).
+        report = run_check([REPO / "src"])
+        assert report.suppressed == 4
+
+    def test_cli_entry_point(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "check", "src"],
+            capture_output=True, text=True, timeout=120,
+            cwd=REPO,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
