@@ -30,12 +30,25 @@ from repro.opt.surrogate import System, make_surrogate
 from repro.traffic.trace import Trace
 
 
+#: Engine identifiers accepted by the ``engine=`` seam. ``reference``
+#: is the per-packet object engine (the oracle); ``vectorized`` is the
+#: columnar batch-slot engine of :mod:`repro.core.columnar`, decision-
+#: identical by contract (see docs/VECTORIZED.md).
+ENGINES = ("reference", "vectorized")
+
+
 class PolicySystem:
     """A shared-memory switch driven by a buffer-management policy.
 
     Adapts the (switch, policy) pair to the :class:`~repro.opt.surrogate.
     System` interface shared with the OPT surrogates, so the runner can
     treat every contender uniformly.
+
+    ``engine`` selects the simulation engine: ``"reference"`` (the
+    per-packet oracle; ``fast_path`` picks its selector mode) or
+    ``"vectorized"`` (the columnar batch-slot engine, where
+    ``fast_path`` is ignored — victim selection is always the kernel
+    or the policy's naive selector over the columnar view).
     """
 
     def __init__(
@@ -45,10 +58,23 @@ class PolicySystem:
         *,
         fast_path: bool = True,
         observer: Optional[SlotObserver] = None,
+        engine: str = "reference",
     ) -> None:
-        self.switch = SharedMemorySwitch(
-            config, fast_path=fast_path, observer=observer
-        )
+        if engine == "vectorized":
+            from repro.core.columnar import VectorizedSwitch
+
+            self.switch: Union[
+                SharedMemorySwitch, VectorizedSwitch
+            ] = VectorizedSwitch(config, observer=observer)
+        elif engine == "reference":
+            self.switch = SharedMemorySwitch(
+                config, fast_path=fast_path, observer=observer
+            )
+        else:
+            raise ConfigError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        self.engine = engine
         self.policy = policy
 
     def attach_observer(self, observer: Optional[SlotObserver]) -> None:
@@ -200,6 +226,7 @@ def measure_competitive_ratio(
     flush_every: Optional[int] = None,
     drain: bool = False,
     registry=None,
+    engine: str = "reference",
 ) -> CompetitiveResult:
     """Replay ``trace`` through ``policy`` and an OPT reference.
 
@@ -229,6 +256,12 @@ def measure_competitive_ratio(
         given, the ALG replay is charged to the ``policy_run`` stage and
         the OPT replay to ``opt_run`` — the split the sweep engine
         surfaces through :class:`~repro.analysis.sweep.SweepStats`.
+    engine:
+        Simulation engine for the *ALG* side (``"reference"`` or
+        ``"vectorized"``). OPT references are unaffected: the surrogate
+        has its own architecture and the scripted replay stays on the
+        reference engine. Decision parity between engines means the
+        measured ratio is engine-independent by contract.
     """
     if by_value is None:
         by_value = config.discipline is QueueDiscipline.PRIORITY
@@ -248,7 +281,7 @@ def measure_competitive_ratio(
 
     drain_slots = config.buffer_size * config.max_work if drain else 0
 
-    alg_system = PolicySystem(config, policy)
+    alg_system = PolicySystem(config, policy, engine=engine)
     if registry is None:
         alg_metrics = run_system(
             alg_system, trace,

@@ -20,7 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-import numpy as np
+try:  # pure-stdlib installs can still import the module
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None  # type: ignore[assignment]
 
 from repro.analysis.competitive import PolicySystem
 from repro.core.config import QueueDiscipline, SwitchConfig
@@ -32,6 +35,14 @@ from repro.policies import make_policy
 #: Arrival lists as stored in TinyInstance: per slot, (port, value) pairs.
 Arrivals = Tuple[Tuple[Tuple[int, float], ...], ...]
 
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise ConfigError(
+            "the adversarial search needs numpy (its draws are pinned to "
+            "numpy.random.default_rng); install numpy to use it"
+        )
 
 @dataclass(frozen=True)
 class ProbeResult:
@@ -138,6 +149,7 @@ def probe_processing_policy(
     """
     if trials < 1:
         raise ConfigError("probe needs at least one trial")
+    _require_numpy()
     rng = np.random.default_rng(seed)
     config = SwitchConfig.from_works(works, buffer_size)
     report = ConjectureReport(
@@ -169,6 +181,7 @@ def processing_adversarial_search(
     seed: int = 0,
 ) -> ProbeResult:
     """Hill-climb for a bad processing-model instance (exact ratios)."""
+    _require_numpy()
     rng = np.random.default_rng(seed)
     config = SwitchConfig.from_works(works, buffer_size)
     best: Optional[ProbeResult] = None
@@ -267,6 +280,7 @@ def probe_policy(
     """Randomized sample of exact ratios for a value-model policy."""
     if trials < 1:
         raise ConfigError("probe needs at least one trial")
+    _require_numpy()
     rng = np.random.default_rng(seed)
     config = _value_config(n_ports, buffer_size)
     report = ConjectureReport(
@@ -332,6 +346,7 @@ def adversarial_search(
     Ratios are exact (true OPT), so the result is a certified lower bound
     on the policy's competitive ratio over this instance family.
     """
+    _require_numpy()
     rng = np.random.default_rng(seed)
     config = _value_config(n_ports, buffer_size)
     best: Optional[ProbeResult] = None

@@ -58,7 +58,7 @@ from typing import (
 )
 
 from repro.analysis.cache import SweepCache
-from repro.analysis.competitive import measure_competitive_ratio
+from repro.analysis.competitive import ENGINES, measure_competitive_ratio
 from repro.obs.counters import CounterRegistry
 from repro.analysis.stats import Summary, summarize
 from repro.core.config import SwitchConfig
@@ -273,6 +273,12 @@ class _CellContext:
     #: Optional deterministic fault injector; inherited by forked pool
     #: workers along with the rest of the context.
     injector: Optional[FaultInjector] = None
+    #: Simulation engine for the ALG side of every cell. Deliberately
+    #: *not* part of the cache key or journal identity: the engines are
+    #: decision-identical by contract (docs/VECTORIZED.md), so a cached
+    #: reference measurement is a valid vectorized measurement and
+    #: vice versa.
+    engine: str = "reference"
 
 
 def _execute_cell(
@@ -321,6 +327,7 @@ def _execute_cell(
             flush_every=ctx.flush_every,
             drain=ctx.drain,
             registry=registry,
+            engine=ctx.engine,
         )
         points.append(
             SweepPoint(
@@ -557,6 +564,7 @@ def run_sweep(
     resilience: Optional[SupervisorOptions] = None,
     journal: Optional[RunJournal] = None,
     fault_injector: Optional[FaultInjector] = None,
+    engine: str = "reference",
 ) -> SweepResult:
     """Measure every policy at every parameter value over every seed.
 
@@ -601,11 +609,23 @@ def run_sweep(
         job; falls back to the ``REPRO_FAULTS`` environment spec when
         omitted. Injected faults are absorbed by the supervision layer,
         so a chaos run's output is byte-identical to a clean run's.
+    engine:
+        Simulation engine for the ALG side of every cell
+        (``"reference"`` or ``"vectorized"``; see
+        :data:`repro.analysis.competitive.ENGINES`). Excluded from the
+        cache key and the journal identity on purpose: the engines are
+        decision-identical by contract, so measurements interchange —
+        switching engines must not invalidate a cache or block a
+        journal resume.
     """
     if not param_values:
         raise ConfigError("sweep needs at least one parameter value")
     if not policy_names:
         raise ConfigError("sweep needs at least one policy")
+    if engine not in ENGINES:
+        raise ConfigError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
     if cache is not None and cache_token is None:
         raise ConfigError(
             "caching a sweep requires a cache_token describing the "
@@ -636,6 +656,7 @@ def run_sweep(
         flush_every=flush_every,
         drain=drain,
         injector=injector,
+        engine=engine,
     )
     plans = _plan_cells(
         param_values,

@@ -40,7 +40,10 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-import numpy as np
+try:  # pure-stdlib installs can still load the module and its gates
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None  # type: ignore[assignment]
 
 from repro.analysis.competitive import PolicySystem, run_system
 from repro.core.config import QueueDiscipline, SwitchConfig
@@ -133,6 +136,12 @@ def saturating_workload(
     """
     if n_slots < 1:
         raise ConfigError(f"need >= 1 slot, got {n_slots}")
+    if np is None:
+        raise ConfigError(
+            "the adversarial bench workload needs numpy (its packet "
+            "stream is pinned to numpy's PCG64); install numpy or pick "
+            "a different panel"
+        )
     rng = np.random.default_rng(seed)
     n = config.n_ports
     per_slot = max(2, (3 * n) // 2)
@@ -361,7 +370,7 @@ def _environment() -> Dict[str, object]:
         "platform": platform.platform(),
         "machine": platform.machine(),
         "cpu_count": __import__("os").cpu_count(),
-        "numpy": np.__version__,
+        "numpy": "absent" if np is None else np.__version__,
         "repro_version": getattr(repro, "__version__", "unknown"),
         "argv": sys.argv[1:],
     }
@@ -402,14 +411,20 @@ def run_panel_bench(
 
 
 def _make_system(config: SwitchConfig, policy, mode: str) -> PolicySystem:
-    """Build the simulated system in ``fast`` or ``naive`` selector mode.
+    """Build the simulated system in one of the benchmarkable modes.
 
-    ``naive`` keeps the O(n)-scan reference selectors; on engines that
-    predate the fast path (the seed baseline) the keyword does not exist
-    and the only mode is the naive one.
+    ``fast``/``naive`` pick the reference engine's selector mode
+    (``naive`` is the O(n)-scan oracle); ``vectorized`` picks the
+    columnar batch-slot engine. On engines that predate the fast path
+    (the seed baseline) the keywords do not exist and the only mode is
+    the naive one.
     """
+    if mode == "vectorized":
+        return PolicySystem(config, policy, engine="vectorized")
     if mode not in ("fast", "naive"):
-        raise ConfigError(f"bench mode must be fast|naive, got {mode!r}")
+        raise ConfigError(
+            f"bench mode must be fast|naive|vectorized, got {mode!r}"
+        )
     try:
         return PolicySystem(config, policy, fast_path=(mode == "fast"))
     except TypeError:
@@ -422,20 +437,37 @@ def run_bench(
     tag: str = "local",
     mode: str = "fast",
     slots_scale: float = 1.0,
+    repeats: int = 1,
     progress=None,
 ) -> Dict[str, object]:
-    """Run panels and assemble the ``BENCH_<tag>.json`` report dict."""
+    """Run panels and assemble the ``BENCH_<tag>.json`` report dict.
+
+    ``repeats`` runs each panel that many times and reports its
+    *best* aggregate throughput. Single runs on shared or
+    frequency-scaled machines vary by 2x and more; speedup gates
+    compare best-effort capability, not scheduler luck, so CI smoke
+    jobs should pass ``repeats >= 3``.
+    """
+    if repeats < 1:
+        raise ConfigError(f"repeats must be >= 1, got {repeats}")
     report: Dict[str, object] = {
         "schema": SCHEMA_VERSION,
         "tag": tag,
         "mode": mode,
         "slots_scale": slots_scale,
+        "repeats": repeats,
         "created": datetime.now(timezone.utc).isoformat(),
         "environment": _environment(),
         "panels": {},
     }
     for panel in panels:
         result = run_panel_bench(panel, mode=mode, slots_scale=slots_scale)
+        for _ in range(repeats - 1):
+            again = run_panel_bench(
+                panel, mode=mode, slots_scale=slots_scale
+            )
+            if again.slots_per_s > result.slots_per_s:
+                result = again
         report["panels"][panel.name] = result.as_dict()
         if progress is not None:
             progress(
@@ -648,6 +680,93 @@ def compare_reports(
                 )
             )
     return regressions
+
+
+@dataclass(frozen=True)
+class SpeedupShortfall:
+    """One panel whose speedup over the baseline missed the floor."""
+
+    panel: str
+    current: float
+    baseline: float
+    required: float
+
+    @property
+    def achieved(self) -> float:
+        return self.current / self.baseline if self.baseline > 0 else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.panel}: {self.achieved:.2f}x < {self.required:.2f}x "
+            f"required ({self.current:.1f} vs baseline "
+            f"{self.baseline:.1f} slots/s)"
+        )
+
+
+def compare_speedup(
+    current: Mapping[str, object],
+    baseline: Mapping[str, object],
+    *,
+    min_speedup: float,
+    panels: Optional[Sequence[str]] = None,
+    tolerance: float = 0.25,
+) -> List[SpeedupShortfall]:
+    """Panels whose aggregate throughput gain misses ``min_speedup``.
+
+    The vectorized-engine acceptance gate: ``current`` (a vectorized
+    report) must be at least ``min_speedup * (1 - tolerance)`` times the
+    ``baseline`` (the committed fast-path report) on every selected
+    panel. The tolerance term is the same 25%-fence style as
+    :func:`compare_reports` — committed baselines were recorded on
+    different hardware, so an exact multiplier would gate on machine
+    identity rather than on the engine.
+
+    With ``panels=None`` every panel present in both reports is gated.
+    A selected panel missing from either report is itself a failure
+    (reported with zero rates) — silently skipping it would pass the
+    gate without measuring anything.
+    """
+    if min_speedup <= 0:
+        raise ConfigError(f"min_speedup must be > 0, got {min_speedup}")
+    if not 0 <= tolerance < 1:
+        raise ConfigError(f"tolerance must be in [0, 1), got {tolerance}")
+    cur_panels: Mapping[str, Mapping] = current.get("panels", {})
+    base_panels: Mapping[str, Mapping] = baseline.get("panels", {})
+    if panels is None:
+        names: Sequence[str] = [
+            name for name in cur_panels if name in base_panels
+        ]
+    else:
+        names = panels
+    required = min_speedup * (1.0 - tolerance)
+    shortfalls: List[SpeedupShortfall] = []
+    for name in names:
+        cur = cur_panels.get(name)
+        base = base_panels.get(name)
+        if cur is None or base is None:
+            shortfalls.append(
+                SpeedupShortfall(
+                    panel=name,
+                    current=0.0 if cur is None else float(cur["slots_per_s"]),
+                    baseline=(
+                        0.0 if base is None else float(base["slots_per_s"])
+                    ),
+                    required=required,
+                )
+            )
+            continue
+        rate = float(cur["slots_per_s"])
+        base_rate = float(base["slots_per_s"])
+        if rate < required * base_rate:
+            shortfalls.append(
+                SpeedupShortfall(
+                    panel=name,
+                    current=rate,
+                    baseline=base_rate,
+                    required=required,
+                )
+            )
+    return shortfalls
 
 
 def format_report(report: Mapping[str, object]) -> str:

@@ -13,7 +13,12 @@ Subcommands
     Run an adversarial construction with custom ``--k/--buffer`` sizes.
 ``bench``
     Run the pinned performance panels, write ``BENCH_<tag>.json``, and
-    optionally gate against a baseline report.
+    optionally gate against a baseline report (``--baseline`` alone
+    gates on regression; with ``--min-speedup`` it gates on a speedup
+    floor instead — the vectorized-engine acceptance check).
+``golden``
+    Check the committed golden decision-stream fixture on both engines
+    (``--check``, the default) or regenerate it (``--update``).
 ``trace``
     Record a pinned bench panel as a JSONL event trace, or replay-verify
     a recorded trace (conservation laws + byte-equal metrics).
@@ -148,6 +153,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             resilience=_resilience_options(args),
             journal=journal,
             fault_injector=injector,
+            engine=args.engine,
         )
     except SweepInterrupted as exc:
         print(f"# interrupted: {exc}", file=sys.stderr)
@@ -287,6 +293,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         PANELS,
         compare_reports,
+        compare_speedup,
         format_obs_report,
         format_report,
         load_report,
@@ -295,6 +302,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         select_panels,
         write_report,
     )
+
+    if args.min_speedup is not None and not args.baseline:
+        print("--min-speedup requires --baseline", file=sys.stderr)
+        return 2
 
     if args.list:
         for name, panel in PANELS.items():
@@ -322,6 +333,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         tag=args.tag,
         mode=args.mode,
         slots_scale=args.slots_scale,
+        repeats=args.repeats,
         progress=lambda line: print(line, file=sys.stderr),
     )
     print(format_report(report))
@@ -330,6 +342,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.baseline:
         baseline = load_report(args.baseline)
+        if args.min_speedup is not None:
+            # Speedup floor (vectorized-engine acceptance): every gated
+            # panel must beat the baseline by min_speedup, with the
+            # same fractional fence as the regression gate.
+            shortfalls = compare_speedup(
+                report,
+                baseline,
+                min_speedup=args.min_speedup,
+                panels=args.speedup_panels,
+                tolerance=args.max_regression,
+            )
+            if shortfalls:
+                print(
+                    f"# SPEEDUP SHORTFALL vs {args.baseline} "
+                    f"(floor {args.min_speedup:g}x - "
+                    f"{args.max_regression:.0%}):",
+                    file=sys.stderr,
+                )
+                for shortfall in shortfalls:
+                    print(f"#   {shortfall}", file=sys.stderr)
+                return 1
+            print(
+                f"# speedup >= {args.min_speedup:g}x "
+                f"(-{args.max_regression:.0%} fence) vs {args.baseline}"
+            )
+            return 0
         regressions = compare_reports(
             report, baseline, max_regression=args.max_regression
         )
@@ -343,6 +381,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 print(f"#   {regression}", file=sys.stderr)
             return 1
         print(f"# no regression vs {args.baseline}")
+    return 0
+
+
+def _cmd_golden(args: argparse.Namespace) -> int:
+    """Check or regenerate the golden decision-stream fixture."""
+    from repro.goldens import (
+        DEFAULT_GOLDEN_PATH,
+        check_goldens,
+        update_goldens,
+    )
+
+    if args.path is None:
+        args.path = DEFAULT_GOLDEN_PATH
+    if args.update:
+        path = update_goldens(args.path, panel_names=args.panels)
+        print(f"# wrote {path}")
+        return 0
+    engines = ("reference", "vectorized")
+    if args.engine:
+        engines = (args.engine,)
+    problems = check_goldens(
+        args.path, panel_names=args.panels, engines=engines
+    )
+    if problems:
+        print(f"# GOLDEN MISMATCH vs {args.path}:", file=sys.stderr)
+        for problem in problems:
+            print(f"#   {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"# goldens hold on {'/'.join(engines)} "
+        f"(fixture {args.path})"
+    )
     return 0
 
 
@@ -550,6 +620,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--plot", action="store_true",
         help="render the sweep as an ASCII chart after the table",
     )
+    run_parser.add_argument(
+        "--engine", choices=("reference", "vectorized"), default=None,
+        help=(
+            "ALG-side simulation engine for Fig. 5 panels "
+            "(decision-identical by contract; default reference)"
+        ),
+    )
     _add_sweep_engine_flags(run_parser)
     _add_resilience_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
@@ -672,12 +749,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="panel names, or small / large / all (default all)",
     )
     bench_parser.add_argument(
-        "--mode", choices=("fast", "naive"), default="fast",
-        help="victim-selector implementation to time (default fast)",
+        "--mode", choices=("fast", "naive", "vectorized"), default="fast",
+        help=(
+            "engine/selector to time: the reference engine's fast or "
+            "naive selector, or the columnar vectorized engine "
+            "(default fast)"
+        ),
     )
     bench_parser.add_argument(
         "--slots-scale", type=float, default=1.0,
         help="multiply every panel's slot count (recorded in the report)",
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=1,
+        help=(
+            "run each panel this many times and report the best "
+            "throughput (default 1; CI gates should use >= 3)"
+        ),
     )
     bench_parser.add_argument(
         "--baseline", default=None,
@@ -686,6 +774,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--max-regression", type=float, default=0.25,
         help="allowed fractional slots/s drop vs baseline (default 0.25)",
+    )
+    bench_parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help=(
+            "require every gated panel to beat the --baseline report "
+            "by this factor (25%%-fence style: the effective floor is "
+            "MIN_SPEEDUP * (1 - --max-regression)); exit 1 on shortfall"
+        ),
+    )
+    bench_parser.add_argument(
+        "--speedup-panels", nargs="*", default=None,
+        help=(
+            "restrict the --min-speedup gate to these panels "
+            "(default: every panel present in both reports)"
+        ),
     )
     bench_parser.add_argument(
         "--list", action="store_true",
@@ -699,6 +802,35 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     bench_parser.set_defaults(func=_cmd_bench)
+
+    golden_parser = sub.add_parser(
+        "golden",
+        help=(
+            "check the committed decision-stream goldens on both "
+            "engines, or regenerate them"
+        ),
+    )
+    golden_parser.add_argument(
+        "--check", action="store_true",
+        help="verify the fixture (the default action)",
+    )
+    golden_parser.add_argument(
+        "--update", action="store_true",
+        help="recompute the fixture on the reference engine and write it",
+    )
+    golden_parser.add_argument(
+        "--path", default=None,
+        help="fixture path (default benchmarks/GOLDEN_streams.json)",
+    )
+    golden_parser.add_argument(
+        "--panels", nargs="*", default=None,
+        help="restrict to these bench panels (default: all committed)",
+    )
+    golden_parser.add_argument(
+        "--engine", choices=("reference", "vectorized"), default=None,
+        help="check a single engine instead of both",
+    )
+    golden_parser.set_defaults(func=_cmd_golden)
 
     trace_parser = sub.add_parser(
         "trace",

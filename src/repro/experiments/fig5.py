@@ -314,6 +314,7 @@ def run_panel(
     resilience: Optional[SupervisorOptions] = None,
     journal: Optional[RunJournal] = None,
     fault_injector: Optional[FaultInjector] = None,
+    engine: str = "reference",
 ) -> SweepResult:
     """Execute one Fig. 5 panel and return its sweep result.
 
@@ -325,7 +326,10 @@ def run_panel(
     :mod:`repro.analysis.sweep`). ``param_values``/``policies`` restrict
     the sweep grid, e.g. for smoke tests. ``resilience``/``journal``/
     ``fault_injector`` configure the supervised executor — see
-    :mod:`repro.resilience` and ``docs/RESILIENCE.md``.
+    :mod:`repro.resilience` and ``docs/RESILIENCE.md``. ``engine``
+    selects the ALG-side simulation engine (``"reference"`` or
+    ``"vectorized"``); the engines are decision-identical by contract,
+    so the panel's numbers do not depend on the choice.
     """
     spec = PANELS.get(panel)
     if spec is None:
@@ -364,4 +368,5 @@ def run_panel(
         resilience=resilience,
         journal=journal,
         fault_injector=fault_injector,
+        engine=engine,
     )

@@ -143,6 +143,7 @@ def run_experiment(
     resilience=None,
     journal=None,
     fault_injector=None,
+    engine: Optional[str] = None,
 ):
     """Run an experiment by id.
 
@@ -153,6 +154,8 @@ def run_experiment(
     supervision layer (see :mod:`repro.resilience`). All of these apply
     to Fig. 5 panels only (theorem replays are single deterministic
     traces — there is nothing to fan out, memoize, or resume).
+    ``engine`` selects the ALG-side simulation engine for Fig. 5 panels
+    (``"reference"``/``"vectorized"``; decision-identical by contract).
     """
     if experiment_id.startswith("fig5-"):
         panel = _panel_number(experiment_id)
@@ -173,6 +176,8 @@ def run_experiment(
             kwargs["journal"] = journal
         if fault_injector is not None:
             kwargs["fault_injector"] = fault_injector
+        if engine is not None:
+            kwargs["engine"] = engine
         return run_panel(panel, **kwargs)
     if experiment_id == "skew":
         from repro.experiments.skewed import run_skew_sweep

@@ -15,7 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
+try:  # pure-stdlib installs can still import the module
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None  # type: ignore[assignment]
 
 from repro.analysis.competitive import measure_competitive_ratio
 from repro.core.config import SwitchConfig
@@ -26,6 +29,14 @@ from repro.traffic.workloads import value_port_workload
 #: Default skew grid: cheap-heavy ... uniform ... expensive-heavy.
 DEFAULT_SKEWS: Tuple[float, ...] = (-1.0, -0.5, 0.0, 0.5, 1.0, 2.0)
 
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise ConfigError(
+            "the skew sweep needs numpy (its draws are pinned to "
+            "numpy.random.default_rng); install numpy to use it"
+        )
 
 @dataclass(frozen=True)
 class SkewPoint:
@@ -67,6 +78,7 @@ class SkewSweepResult:
 
 def skew_weights(config: SwitchConfig, skew: float) -> np.ndarray:
     """Source-assignment weights ``value_i ** skew`` (uniform at 0)."""
+    _require_numpy()
     values = np.asarray(config.values, dtype=float)
     return values ** skew
 

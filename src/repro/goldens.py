@@ -1,0 +1,277 @@
+"""Golden decision-stream fixtures for the pinned bench panels.
+
+The differential suites pin the vectorized engine to the reference
+engine *relative* to each other; goldens pin both to a committed
+*absolute* fingerprint. Each of the eight ``repro.bench`` panels is run
+at a small committed scale and reduced to two sha256 digests per pinned
+policy:
+
+* ``stream_sha256`` — a canonical rendering of the full observer event
+  stream (slot framing, arrivals, decisions, push-outs, transmissions,
+  idle fast-forwards). This is the engine's *decision stream*: any
+  change to admission, victim selection (tie-breaks included),
+  transmission order, or idle handling changes the digest.
+* ``metrics_sha256`` — the canonical JSON of the final
+  :meth:`~repro.core.metrics.SwitchMetrics.snapshot`. Fast-mode runs
+  carry no observer (an attached observer routes the vectorized engine
+  onto its per-packet slow path), so this is the digest that pins the
+  *batched* hot path.
+
+Sequence numbers are deliberately excluded from every token: they
+depend on process-global draw interleaving and (in the vectorized fast
+path) are not drawn at all — they are debugging identity, not model
+state.
+
+The committed fixture lives at :data:`DEFAULT_GOLDEN_PATH` and is
+managed by ``repro golden --check`` / ``--update`` and by
+``tests/test_golden_streams.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.competitive import PolicySystem, run_system
+from repro.core.errors import ConfigError
+from repro.core.metrics import SwitchMetrics
+from repro.obs.observer import PacketEvent, SlotObserver
+from repro.policies import make_policy
+
+#: Committed fixture location (repo-relative).
+DEFAULT_GOLDEN_PATH = Path("benchmarks") / "GOLDEN_streams.json"
+
+#: The committed scale: panels shrink to this fraction of their pinned
+#: slot count, keeping a full eight-panel golden pass in CI-smoke
+#: territory while still exercising congestion on every panel.
+GOLDEN_SLOTS_SCALE = 0.1
+
+SCHEMA_VERSION = 1
+
+
+class DecisionStreamHasher(SlotObserver):
+    """Fold the observer event stream into one sha256.
+
+    Every hook renders a canonical one-line token and feeds it to the
+    hash; the hex digest is therefore a fingerprint of the complete
+    observable run. Tokens carry packet *state* (port, work, value,
+    arrival slot, residual) but never sequence numbers — see the module
+    docstring.
+    """
+
+    __slots__ = ("_hash", "events")
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+        #: Number of tokens folded in (a cheap sanity signal for tests).
+        self.events = 0
+
+    def _feed(self, token: str) -> None:
+        self._hash.update(token.encode("ascii"))
+        self.events += 1
+
+    @staticmethod
+    def _packet(event: PacketEvent) -> str:
+        return (
+            f"{event.port},{event.work},{event.value!r},"
+            f"{event.arrival_slot},{event.residual}"
+        )
+
+    def hexdigest(self) -> str:
+        return self._hash.hexdigest()
+
+    def on_slot_begin(self, slot: int, n_arrivals: int) -> None:
+        self._feed(f"B {slot} {n_arrivals}\n")
+
+    def on_arrival(self, slot: int, packet: PacketEvent) -> None:
+        self._feed(f"A {slot} {self._packet(packet)}\n")
+
+    def on_decision(
+        self, slot: int, action: str, victim_port: Optional[int]
+    ) -> None:
+        self._feed(f"D {slot} {action} {victim_port}\n")
+
+    def on_push_out(self, slot: int, victim: PacketEvent) -> None:
+        self._feed(f"P {slot} {self._packet(victim)}\n")
+
+    def on_transmit(self, slot: int, packet: PacketEvent) -> None:
+        self._feed(f"T {slot} {self._packet(packet)}\n")
+
+    def on_flush(
+        self, slot: int, dropped: Tuple[PacketEvent, ...]
+    ) -> None:
+        self._feed(f"F {slot} {len(dropped)}\n")
+        for event in dropped:
+            self._feed(f"f {slot} {self._packet(event)}\n")
+
+    def on_idle(self, slot: int, n_slots: int) -> None:
+        self._feed(f"I {slot} {n_slots}\n")
+
+    def on_slot_end(self, slot: int, occupancy: int) -> None:
+        self._feed(f"E {slot} {occupancy}\n")
+
+
+def metrics_digest(metrics: SwitchMetrics) -> str:
+    """sha256 of the canonical JSON of a full metrics snapshot.
+
+    ``sort_keys`` plus JSON's ``repr``-based float rendering make the
+    digest a stable function of the counter values alone.
+    """
+    canonical = json.dumps(
+        metrics.snapshot(), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("ascii")).hexdigest()
+
+
+def _run_hashed(
+    panel, policy_name: str, slots_scale: float, engine: str
+) -> Tuple[str, str, str]:
+    """One observed run plus one fast-mode run of a panel policy.
+
+    Returns ``(stream_sha256, metrics_sha256, fast_metrics_sha256)``.
+    The observed run renders the decision stream (on the vectorized
+    engine this takes its per-packet slow path); the unobserved run
+    exercises the engine's fast mode, whose final metrics must digest
+    identically — that equality is itself part of the check.
+    """
+    config = panel.config()
+    trace = panel.trace(slots_scale)
+
+    hasher = DecisionStreamHasher()
+    observed = PolicySystem(config, make_policy(policy_name), engine=engine)
+    observed_metrics = run_system(observed, trace, observer=hasher)
+
+    fast = PolicySystem(config, make_policy(policy_name), engine=engine)
+    fast_metrics = run_system(fast, trace)
+
+    return (
+        hasher.hexdigest(),
+        metrics_digest(observed_metrics),
+        metrics_digest(fast_metrics),
+    )
+
+
+def compute_goldens(
+    panel_names: Optional[Sequence[str]] = None,
+    *,
+    slots_scale: float = GOLDEN_SLOTS_SCALE,
+    engine: str = "reference",
+) -> Dict[str, object]:
+    """Compute the golden document for the selected bench panels.
+
+    The committed fixture is computed on the reference engine (the
+    oracle); ``engine="vectorized"`` recomputes the same document on the
+    columnar engine, which :func:`check_goldens` uses to assert the
+    engines' streams are byte-identical to the committed one.
+    """
+    from repro.bench import PANELS
+
+    if panel_names is None:
+        panel_names = list(PANELS)
+    doc: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "slots_scale": slots_scale,
+        "engine": engine,
+        "panels": {},
+    }
+    panels: Dict[str, object] = doc["panels"]  # type: ignore[assignment]
+    for name in panel_names:
+        panel = PANELS.get(name)
+        if panel is None:
+            raise ConfigError(
+                f"unknown bench panel {name!r}; known: "
+                + ", ".join(PANELS)
+            )
+        policies: Dict[str, Dict[str, str]] = {}
+        for policy_name in panel.policies:
+            stream, metrics, fast_metrics = _run_hashed(
+                panel, policy_name, slots_scale, engine
+            )
+            if fast_metrics != metrics:
+                raise ConfigError(
+                    f"{name}/{policy_name}: fast-mode metrics diverge "
+                    f"from the observed run on engine {engine!r} "
+                    f"({fast_metrics[:12]} != {metrics[:12]})"
+                )
+            policies[policy_name] = {
+                "stream_sha256": stream,
+                "metrics_sha256": metrics,
+            }
+        panels[name] = {"policies": policies}
+    return doc
+
+
+def check_goldens(
+    path: Path | str = DEFAULT_GOLDEN_PATH,
+    *,
+    panel_names: Optional[Sequence[str]] = None,
+    engines: Sequence[str] = ("reference", "vectorized"),
+) -> List[str]:
+    """Recompute digests on every engine and diff against the fixture.
+
+    Returns human-readable mismatch lines (empty means the fixture
+    holds). Every engine in ``engines`` must reproduce the committed
+    stream and metrics digests exactly — this is the absolute half of
+    the oracle contract (the differential suites are the relative
+    half).
+    """
+    committed = load_goldens(path)
+    scale = float(committed["slots_scale"])
+    want_panels: Mapping[str, Mapping] = committed["panels"]
+    names = list(want_panels) if panel_names is None else list(panel_names)
+    problems: List[str] = []
+    for engine in engines:
+        got = compute_goldens(names, slots_scale=scale, engine=engine)
+        got_panels: Mapping[str, Mapping] = got["panels"]
+        for name in names:
+            want = want_panels.get(name)
+            if want is None:
+                problems.append(f"{name}: not in committed fixture")
+                continue
+            for policy, want_digests in want["policies"].items():
+                have = got_panels[name]["policies"].get(policy)
+                if have is None:
+                    problems.append(
+                        f"{name}/{policy} [{engine}]: policy missing"
+                    )
+                    continue
+                for key in ("stream_sha256", "metrics_sha256"):
+                    if have[key] != want_digests[key]:
+                        problems.append(
+                            f"{name}/{policy} [{engine}]: {key} "
+                            f"{have[key][:16]}... != committed "
+                            f"{want_digests[key][:16]}..."
+                        )
+    return problems
+
+
+def load_goldens(path: Path | str = DEFAULT_GOLDEN_PATH) -> Dict[str, object]:
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(
+            f"golden fixture {path} not found; create it with "
+            f"`repro golden --update`"
+        )
+    with path.open("r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("schema") != SCHEMA_VERSION:
+        raise ConfigError(
+            f"golden fixture {path} has schema {doc.get('schema')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    return doc
+
+
+def update_goldens(
+    path: Path | str = DEFAULT_GOLDEN_PATH,
+    *,
+    panel_names: Optional[Sequence[str]] = None,
+    slots_scale: float = GOLDEN_SLOTS_SCALE,
+) -> Path:
+    """Recompute the fixture on the reference engine and write it."""
+    from repro.resilience import atomic_write_json
+
+    doc = compute_goldens(panel_names, slots_scale=slots_scale)
+    return atomic_write_json(Path(path), doc, indent=2)

@@ -30,10 +30,9 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-import numpy as np
-
 from repro._math import harmonic_number
 from repro.core.decisions import DROP, Decision, push_out
+from repro.core.errors import ConfigError
 from repro.core.packet import Packet
 from repro.core.switch import SwitchView
 from repro.policies.base import PushOutPolicy, ThresholdPolicy
@@ -174,6 +173,19 @@ class RandomPushOut(PushOutPolicy):
     name = "Random"
 
     def __init__(self, seed: int = 0) -> None:
+        # Lazy import: this is the only numpy dependency in the policy
+        # layer, and its decision stream is pinned to numpy's Generator
+        # (a stdlib fallback would silently produce different victims
+        # for the same seed). Without numpy the policy is unavailable
+        # rather than subtly different.
+        try:
+            import numpy as np
+        except ImportError:
+            raise ConfigError(
+                "the Random policy needs numpy (its victim stream is "
+                "pinned to numpy.random.default_rng); install numpy or "
+                "drop Random from the policy set"
+            ) from None
         self._rng = np.random.default_rng(seed)
 
     def congested(self, view: SwitchView, packet: Packet) -> Decision:

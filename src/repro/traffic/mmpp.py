@@ -20,7 +20,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
+try:  # pure-stdlib installs can still import the module
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None  # type: ignore[assignment]
 
 from repro.core.errors import ConfigError
 
@@ -83,10 +86,20 @@ class MmppParams:
         return self.stationary_on
 
 
+def _require_numpy() -> None:
+    if np is None:
+        raise ConfigError(
+            "MMPP traffic needs numpy (its Poisson draws are pinned to "
+            "numpy.random.Generator); install numpy or use a "
+            "stdlib-random workload"
+        )
+
+
 class MmppSource:
     """One on-off MMPP source, advanced slot by slot (scalar reference)."""
 
     def __init__(self, params: MmppParams, rng: np.random.Generator) -> None:
+        _require_numpy()
         self.params = params
         self._rng = rng
         self.on = bool(rng.random() < params.initial_on_probability())
@@ -119,6 +132,7 @@ class MmppFleet:
         params: MmppParams,
         rng: np.random.Generator,
     ) -> None:
+        _require_numpy()
         if n_sources < 1:
             raise ConfigError(f"need >= 1 source, got {n_sources}")
         self.params = params

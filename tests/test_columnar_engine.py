@@ -1,0 +1,254 @@
+"""Columnar-engine state audits: self-checks, backends, wide path.
+
+The vectorized engine keeps two representations of the same buffer —
+flat per-port columns for the hot path and per-packet record stores as
+the object view. ``check_invariants`` cross-validates them (plus the
+derived kernel structures and the transmission calendar), and
+``REPRO_CHECK_INVARIANTS`` runs that audit periodically through
+:func:`repro.analysis.competitive.run_system`. These tests prove the
+audit has teeth: a deliberately corrupted column must be caught, from a
+direct call and from the periodic driver alike.
+
+The suite also pins the engine's backend seams: the pure-``array``
+fallback (``REPRO_VECTOR_BACKEND=python``) must be decision-identical
+to numpy columns, and the wide-switch whole-array transmission path
+(``n >= ARRAY_TRANSMIT_MIN_PORTS``) must be decision-identical to the
+narrow expiry-calendar path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.competitive import PolicySystem, run_system
+from repro.core import columns as columns_mod
+from repro.core.columnar import ARRAY_TRANSMIT_MIN_PORTS, VectorizedSwitch
+from repro.core.config import SwitchConfig
+from repro.core.packet import Packet
+from repro.core.switch import SharedMemorySwitch
+from repro.policies import make_policy
+from repro.traffic.trace import Trace
+
+
+def _congested_trace(
+    config: SwitchConfig, n_slots: int, seed: int, per_slot: int
+) -> Trace:
+    """A seeded random trace hot enough to exercise push-outs."""
+    rng = random.Random(seed)
+    n = config.n_ports
+    trace = Trace()
+    for slot in range(n_slots):
+        burst = [
+            Packet(
+                port=(p := rng.randrange(n)),
+                work=config.work_of(p),
+                value=config.value_of(p),
+                arrival_slot=slot,
+            )
+            for _ in range(rng.randint(0, per_slot))
+        ]
+        trace.append_slot(burst)
+    return trace
+
+
+def _warm_switch(policy_name: str = "LQD") -> VectorizedSwitch:
+    """A small switch after a few congested fast-mode slots."""
+    config = SwitchConfig.contiguous(4, 8)
+    switch = VectorizedSwitch(config)
+    policy = make_policy(policy_name)
+    trace = _congested_trace(config, 12, seed=5, per_slot=10)
+    for burst in trace.slots:
+        switch.run_slot(burst, policy)
+    assert switch.occupancy > 0
+    switch.check_invariants()
+    return switch
+
+
+# ----------------------------------------------------------------------
+# Deliberate corruption must be caught
+# ----------------------------------------------------------------------
+
+
+def test_clean_state_passes():
+    _warm_switch().check_invariants()
+
+
+def test_corrupt_length_column_caught():
+    switch = _warm_switch()
+    port = max(range(4), key=lambda p: switch._lens[p])
+    switch._lens[port] += 1
+    with pytest.raises(AssertionError):
+        switch.check_invariants()
+
+
+def test_corrupt_value_total_caught():
+    switch = _warm_switch()
+    port = max(range(4), key=lambda p: switch._lens[p])
+    switch._tv[port] += 0.5
+    with pytest.raises(AssertionError):
+        switch.check_invariants()
+
+
+def test_corrupt_store_caught():
+    # Dropping a record desynchronizes the object view from the length
+    # column — the column/object-view consistency check must fire.
+    switch = _warm_switch()
+    port = max(range(4), key=lambda p: switch._lens[p])
+    switch._stores[port].pop()
+    with pytest.raises(AssertionError):
+        switch.check_invariants()
+
+
+def test_corrupt_active_set_caught():
+    switch = _warm_switch()
+    port = max(range(4), key=lambda p: switch._lens[p])
+    switch._is_act[port] = False
+    with pytest.raises(AssertionError):
+        switch.check_invariants()
+
+
+def test_corrupt_transmission_calendar_caught():
+    # Narrow switches track head completion on an expiry-tick calendar;
+    # moving a head's expiry off its scheduled bucket must be caught.
+    switch = _warm_switch()
+    assert switch._sched is not None, "narrow switch should use calendar"
+    port = max(range(4), key=lambda p: switch._lens[p])
+    switch._hexp[port] += 1
+    with pytest.raises(AssertionError):
+        switch.check_invariants()
+
+
+@pytest.mark.parametrize("policy_name", ["LQD", "LWD", "BPD"])
+def test_corrupt_kernel_structures_caught(policy_name):
+    switch = _warm_switch(policy_name)
+    if policy_name == "LQD":
+        switch._maxl += 1
+    elif policy_name == "LWD":
+        switch._ncode[switch._active[0]] += 1
+    else:
+        switch._nm ^= 1
+    with pytest.raises(AssertionError):
+        switch.check_invariants()
+
+
+def test_corrupt_occupancy_caught():
+    switch = _warm_switch()
+    switch.occupancy -= 1
+    with pytest.raises(AssertionError):
+        switch.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# The periodic driver must run the audit
+# ----------------------------------------------------------------------
+
+
+def test_periodic_check_catches_corruption(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "3")
+    config = SwitchConfig.contiguous(4, 8)
+    system = PolicySystem(config, make_policy("LQD"), engine="vectorized")
+    trace = _congested_trace(config, 20, seed=9, per_slot=8)
+    # Pre-corrupt a column: the run itself proceeds (fast kernels do not
+    # audit per slot) until the periodic check fires at slot 3.
+    system.switch._tv[0] += 1.0
+    with pytest.raises(AssertionError):
+        run_system(system, trace)
+
+
+def test_periodic_check_passes_clean_vectorized_run(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "3")
+    config = SwitchConfig.contiguous(4, 8)
+    trace = _congested_trace(config, 30, seed=10, per_slot=8)
+    vec = PolicySystem(config, make_policy("LWD"), engine="vectorized")
+    ref = PolicySystem(config, make_policy("LWD"), engine="reference")
+    vec_metrics = run_system(vec, trace, flush_every=11)
+    ref_metrics = run_system(ref, trace, flush_every=11)
+    assert vec_metrics.snapshot() == ref_metrics.snapshot()
+
+
+# ----------------------------------------------------------------------
+# Backend forcing: the pure-python column fallback
+# ----------------------------------------------------------------------
+
+
+def _drive_both(config: SwitchConfig, trace: Trace, policy_name: str):
+    vec = VectorizedSwitch(config)
+    ref = SharedMemorySwitch(config, fast_path=True)
+    vec_policy = make_policy(policy_name)
+    ref_policy = make_policy(policy_name)
+    for burst in trace.slots:
+        vec.run_slot(burst, vec_policy)
+        ref.run_slot(burst, ref_policy)
+    vec.check_invariants()
+    return vec, ref
+
+
+def _assert_matches_reference(
+    vec: VectorizedSwitch, ref: SharedMemorySwitch
+) -> None:
+    for port in range(ref.config.n_ports):
+        ref_state = [(p.port, p.value, p.residual) for p in ref.queues[port]]
+        assert vec.queue_state(port) == ref_state
+    assert vec.metrics.snapshot() == ref.metrics.snapshot()
+
+
+def test_python_backend_forced(monkeypatch):
+    monkeypatch.setenv(columns_mod.BACKEND_ENV, "python")
+    columns_mod.reset_backend_cache()
+    try:
+        assert columns_mod.backend() == "python"
+        assert columns_mod.numpy_module() is None
+        config = SwitchConfig.contiguous(5, 12)
+        trace = _congested_trace(config, 40, seed=21, per_slot=12)
+        vec, ref = _drive_both(config, trace, "LWD")
+        _assert_matches_reference(vec, ref)
+    finally:
+        monkeypatch.delenv(columns_mod.BACKEND_ENV, raising=False)
+        columns_mod.reset_backend_cache()
+
+
+def test_backend_env_validation(monkeypatch):
+    from repro.core.errors import ConfigError
+
+    monkeypatch.setenv(columns_mod.BACKEND_ENV, "cupy")
+    columns_mod.reset_backend_cache()
+    try:
+        with pytest.raises(ConfigError):
+            columns_mod.backend()
+    finally:
+        monkeypatch.delenv(columns_mod.BACKEND_ENV, raising=False)
+        columns_mod.reset_backend_cache()
+
+
+# ----------------------------------------------------------------------
+# Wide switches: the whole-array transmission path
+# ----------------------------------------------------------------------
+
+
+def test_wide_switch_uses_array_path_and_matches_reference():
+    if columns_mod.backend() != "numpy":
+        pytest.skip("wide path requires the numpy backend")
+    n = ARRAY_TRANSMIT_MIN_PORTS + 2
+    config = SwitchConfig.from_works(
+        [1 + (p % 3) for p in range(n)], buffer_size=2 * n
+    )
+    switch = VectorizedSwitch(config)
+    assert switch._sched is None and switch._hr is not None, (
+        "switch this wide should take the whole-array transmission path"
+    )
+    trace = _congested_trace(config, 30, seed=31, per_slot=3 * n)
+    ref = SharedMemorySwitch(config, fast_path=True)
+    policy_vec, policy_ref = make_policy("LQD"), make_policy("LQD")
+    for burst in trace.slots:
+        switch.run_slot(burst, policy_vec)
+        ref.run_slot(burst, policy_ref)
+    switch.check_invariants()
+    _assert_matches_reference(switch, ref)
+
+
+def test_narrow_switch_uses_calendar():
+    config = SwitchConfig.contiguous(8, 32)
+    switch = VectorizedSwitch(config)
+    assert switch._sched is not None and switch._hr is None

@@ -12,7 +12,7 @@ from repro.analysis.conjecture import (
 from repro.core.config import QueueDiscipline, SwitchConfig
 from repro.core.errors import ConfigError
 
-import numpy as np
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 
 class TestEvaluateInstance:

@@ -8,7 +8,6 @@ transmissions of an infinite run, while a finite horizon can strand a
 packet mid-processing).
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis.competitive import PolicySystem, run_system
@@ -16,6 +15,8 @@ from repro.core.config import SwitchConfig
 from repro.core.packet import Packet
 from repro.opt.exhaustive import TinyInstance, exhaustive_opt
 from repro.policies import make_policy
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 
 def random_instance(rng, n_ports=3, buffer_size=4, n_slots=4, max_arrivals=10):

@@ -1,10 +1,11 @@
 """Tests for the MMPP on-off traffic sources."""
 
-import numpy as np
 import pytest
 
 from repro.core.errors import ConfigError
 from repro.traffic.mmpp import MmppFleet, MmppParams, MmppSource
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 
 class TestParams:

@@ -1,6 +1,5 @@
 """Tests for the alternative traffic patterns and trace utilities."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import SwitchConfig
@@ -15,6 +14,8 @@ from repro.traffic.patterns import (
 )
 from repro.traffic.trace import Trace
 from repro.traffic.workloads import processing_capacity
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Tests for the skewed port-value distribution experiment."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import SwitchConfig
@@ -11,6 +10,8 @@ from repro.experiments.skewed import (
     run_skew_sweep,
     skew_weights,
 )
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 
 class TestSkewWeights:

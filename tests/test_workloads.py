@@ -1,6 +1,5 @@
 """Tests for the synthetic workload generators."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import QueueDiscipline, SwitchConfig
@@ -12,6 +11,8 @@ from repro.traffic.workloads import (
     value_port_workload,
     value_uniform_workload,
 )
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 
 @pytest.fixture
