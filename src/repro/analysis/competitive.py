@@ -27,7 +27,11 @@ from repro.core.switch import AdmissionPolicy, SharedMemorySwitch
 from repro.obs.observer import SlotObserver
 from repro.opt.scripted import ScriptedPolicy
 from repro.opt.surrogate import System, make_surrogate
+from repro.traffic.columnar import ColumnarTrace
 from repro.traffic.trace import Trace
+
+#: Any replayable arrival sequence: object slots or CSR columns.
+AnyTrace = Union[Trace, ColumnarTrace]
 
 
 #: Engine identifiers accepted by the ``engine=`` seam. ``reference``
@@ -76,6 +80,25 @@ class PolicySystem:
             )
         self.engine = engine
         self.policy = policy
+        if engine == "vectorized":
+            # Advertised as an instance attribute only on the engine
+            # that has a columnar ingestion path, so the runner's
+            # ``getattr`` probe routes reference systems through the
+            # materialized object loop.
+            self.run_slot_columns = self._run_slot_columns_vectorized
+
+    def _run_slot_columns_vectorized(
+        self,
+        ports: Sequence[int],
+        works: Sequence[int],
+        values: Sequence[float],
+        arrivals: Optional[Sequence[int]],
+        lo: int,
+        hi: int,
+    ) -> List[Packet]:
+        return self.switch.run_slot_columns(  # type: ignore[union-attr]
+            self.policy, ports, works, values, arrivals, lo, hi
+        )
 
     def attach_observer(self, observer: Optional[SlotObserver]) -> None:
         """Forward to the switch's nullable observer slot."""
@@ -153,7 +176,7 @@ def invariant_check_interval() -> int:
 
 def run_system(
     system: System,
-    trace: Trace,
+    trace: AnyTrace,
     *,
     flush_every: Optional[int] = None,
     drain_slots: int = 0,
@@ -170,6 +193,14 @@ def run_system(
     ``observer`` attaches a :class:`~repro.obs.observer.SlotObserver`
     for the duration of the run; the system must expose
     ``attach_observer`` (the OPT surrogates do not).
+
+    A :class:`~repro.traffic.columnar.ColumnarTrace` is fed straight
+    from its columns when the system exposes ``run_slot_columns`` (the
+    vectorized engines); otherwise — or when the trace carries
+    scripted-OPT tags, which need real packets — it is materialized
+    once and replayed through the object loop. Flushout cadence, idle
+    fast-forward, drain, and invariant checks are identical on both
+    paths, so the produced metrics are too.
     """
     if flush_every is not None and flush_every < 1:
         raise ConfigError(f"flush_every must be >= 1, got {flush_every}")
@@ -184,6 +215,45 @@ def run_system(
     if check_every and not hasattr(system, "check_invariants"):
         check_every = 0
     fast_forward = getattr(system, "fast_forward", None)
+
+    run_cols = getattr(system, "run_slot_columns", None)
+    if (
+        isinstance(trace, ColumnarTrace)
+        and run_cols is not None
+        and trace.opts is None
+    ):
+        offsets = trace.offsets
+        ports = trace.ports
+        works = trace.works
+        values = trace.values
+        if getattr(system, "prefers_array_columns", False):
+            arrays = trace.array_columns()
+            if arrays is not None:
+                # Array-batching consumers (the vectorized OPT
+                # surrogates) get the trace's cached ndarray view;
+                # the per-packet kernels keep the faster-to-index
+                # lists. Same packets either way.
+                ports, works, values = arrays
+        arrs = trace.arrivals
+        n_slots = trace.n_slots
+        slot = 0
+        while slot < n_slots:
+            lo = offsets[slot]
+            hi = offsets[slot + 1]
+            if lo == hi and fast_forward is not None and system.backlog == 0:
+                end = slot + 1
+                while end < n_slots and offsets[end + 1] == offsets[end]:
+                    end += 1
+                fast_forward(end - slot)
+                slot = end
+                continue
+            run_cols(ports, works, values, arrs, lo, hi)
+            if flush_every is not None and (slot + 1) % flush_every == 0:
+                system.flush()
+            if check_every and (slot + 1) % check_every == 0:
+                system.check_invariants()
+            slot += 1
+        return _drain(system, drain_slots, check_every)
 
     slots = trace.slots
     n_slots = len(slots)
@@ -206,7 +276,13 @@ def run_system(
         if check_every and (slot + 1) % check_every == 0:
             system.check_invariants()
         slot += 1
+    return _drain(system, drain_slots, check_every)
 
+
+def _drain(
+    system: System, drain_slots: int, check_every: int
+) -> SwitchMetrics:
+    """Run empty slots until the buffer empties (bounded), then report."""
     drained = 0
     while system.backlog > 0 and drained < drain_slots:
         system.run_slot(())
@@ -218,7 +294,7 @@ def run_system(
 
 def measure_competitive_ratio(
     policy: AdmissionPolicy,
-    trace: Trace,
+    trace: AnyTrace,
     config: SwitchConfig,
     *,
     by_value: Optional[bool] = None,
@@ -257,18 +333,21 @@ def measure_competitive_ratio(
         the OPT replay to ``opt_run`` — the split the sweep engine
         surfaces through :class:`~repro.analysis.sweep.SweepStats`.
     engine:
-        Simulation engine for the *ALG* side (``"reference"`` or
-        ``"vectorized"``). OPT references are unaffected: the surrogate
-        has its own architecture and the scripted replay stays on the
-        reference engine. Decision parity between engines means the
-        measured ratio is engine-independent by contract.
+        Simulation engine (``"reference"`` or ``"vectorized"``) for the
+        ALG side *and* the OPT-PQ surrogate (which has an array-backed
+        variant with the same decisions). The scripted replay stays on
+        the reference engine. Decision parity between engines means the
+        measured ratio is engine-independent by contract, so ``engine``
+        is deliberately excluded from cache keys and journal identity.
     """
     if by_value is None:
         by_value = config.discipline is QueueDiscipline.PRIORITY
 
     if isinstance(opt, str):
         if opt == "surrogate":
-            opt_system: System = make_surrogate(config, by_value)
+            opt_system: System = make_surrogate(
+                config, by_value, engine=engine
+            )
             opt_name = "OPT-PQ"
         elif opt == "scripted":
             opt_system = PolicySystem(config, ScriptedPolicy())

@@ -58,7 +58,12 @@ from typing import (
 )
 
 from repro.analysis.cache import SweepCache
-from repro.analysis.competitive import ENGINES, measure_competitive_ratio
+from repro.analysis.competitive import (
+    ENGINES,
+    AnyTrace,
+    measure_competitive_ratio,
+)
+from repro.analysis.tracestore import TraceKeyFn, TraceStore
 from repro.obs.counters import CounterRegistry
 from repro.analysis.stats import Summary, summarize
 from repro.core.config import SwitchConfig
@@ -72,10 +77,8 @@ from repro.resilience.supervisor import (
     SupervisedExecutor,
     SupervisorOptions,
 )
-from repro.traffic.trace import Trace
-
 ConfigFactory = Callable[[float], SwitchConfig]
-TraceFactory = Callable[[SwitchConfig, float, int], Trace]
+TraceFactory = Callable[[SwitchConfig, float, int], AnyTrace]
 ProgressCallback = Callable[[str], None]
 
 
@@ -145,15 +148,20 @@ class SweepStats:
                 f"({100 * self.cache_hit_rate:.0f}%)"
             )
         if self.stage_seconds:
+            ranked = sorted(
+                self.stage_seconds.items(),
+                key=lambda item: item[1],
+                reverse=True,
+            )
+            total = sum(seconds for _name, seconds in ranked)
             stages = ", ".join(
                 f"{name} {seconds:.2f}s"
-                for name, seconds in sorted(
-                    self.stage_seconds.items(),
-                    key=lambda item: item[1],
-                    reverse=True,
-                )
+                + (f" ({seconds / total:.0%})" if total > 0 else "")
+                for name, seconds in ranked
             )
             text += f"; stages: {stages}"
+            if total > 0:
+                text += f"; dominant: {ranked[0][0]}"
         if self.resilience.any():
             text += f"; resilience: {self.resilience.summary()}"
         return text
@@ -279,6 +287,12 @@ class _CellContext:
     #: reference measurement is a valid vectorized measurement and
     #: vice versa.
     engine: str = "reference"
+    #: Optional cross-cell trace reuse (docs/PIPELINE.md). Like the
+    #: engine, reuse is pure execution mechanics — it changes *when* a
+    #: trace is generated, never *what* it contains — so neither field
+    #: joins any cache key or journal identity.
+    trace_store: Optional[TraceStore] = None
+    trace_key: Optional[TraceKeyFn] = None
 
 
 def _execute_cell(
@@ -314,7 +328,18 @@ def _execute_cell(
     registry = CounterRegistry()
     config = ctx.config_factory(value)
     with registry.timer("trace_gen"):
-        trace = ctx.trace_factory(config, value, seed)
+        key = (
+            ctx.trace_key(config, value, seed)
+            if ctx.trace_store is not None and ctx.trace_key is not None
+            else None
+        )
+        if key is None:
+            trace = ctx.trace_factory(config, value, seed)
+        else:
+            assert ctx.trace_store is not None
+            trace = ctx.trace_store.get_or_build(
+                key, lambda: ctx.trace_factory(config, value, seed)
+            )
     points: List[SweepPoint] = []
     for policy_name in policy_names:
         policy = make_policy(policy_name)
@@ -565,6 +590,8 @@ def run_sweep(
     journal: Optional[RunJournal] = None,
     fault_injector: Optional[FaultInjector] = None,
     engine: str = "reference",
+    trace_store: Optional[TraceStore] = None,
+    trace_key: Optional[TraceKeyFn] = None,
 ) -> SweepResult:
     """Measure every policy at every parameter value over every seed.
 
@@ -617,6 +644,17 @@ def run_sweep(
         decision-identical by contract, so measurements interchange —
         switching engines must not invalidate a cache or block a
         journal resume.
+    trace_store / trace_key:
+        Cross-cell trace reuse (:mod:`repro.analysis.tracestore`).
+        ``trace_key`` maps each cell's ``(config, value, seed)`` to a
+        content key covering everything its generator consumes (a
+        ``None`` key opts the cell out); cells sharing a key generate
+        their trace once and replay the stored columns. Both must be
+        provided for reuse to engage. Like ``engine``, reuse is
+        excluded from cache keys and journal identity: it cannot
+        change any cell's arrivals, only skip regenerating them —
+        output is byte-identical with reuse on or off, serial or
+        parallel.
     """
     if not param_values:
         raise ConfigError("sweep needs at least one parameter value")
@@ -657,6 +695,8 @@ def run_sweep(
         drain=drain,
         injector=injector,
         engine=engine,
+        trace_store=trace_store,
+        trace_key=trace_key,
     )
     plans = _plan_cells(
         param_values,

@@ -110,6 +110,60 @@ class BenchPanel:
             return saturating_workload(config, n_slots, seed=self.seed)
         raise ConfigError(f"unknown bench workload {self.workload!r}")
 
+    def columnar_trace(self, slots_scale: float = 1.0):
+        """The panel's trace as flat columns — byte-identical twin.
+
+        Same recipe selection as :meth:`trace`, routed through the
+        columnar generators of :mod:`repro.traffic.columnar`; packet
+        order and content are pinned equal by the differential suite
+        and the golden trace digests.
+        """
+        n_slots = max(1, int(round(self.n_slots * slots_scale)))
+        config = self.config()
+        if self.workload == "uniform":
+            from repro.traffic.columnar import columnar_poisson_workload
+
+            return columnar_poisson_workload(
+                config, n_slots, load=self.load, seed=self.seed
+            )
+        if self.workload == "mmpp":
+            if self.model == "processing":
+                from repro.traffic.columnar import (
+                    columnar_processing_workload,
+                )
+
+                return columnar_processing_workload(
+                    config, n_slots, load=self.load, seed=self.seed
+                )
+            from repro.traffic.columnar import (
+                columnar_value_uniform_workload,
+            )
+
+            return columnar_value_uniform_workload(
+                config, n_slots, 16, load=self.load, seed=self.seed
+            )
+        if self.workload == "adversarial":
+            from repro.traffic.columnar import columnar_saturating_workload
+
+            return columnar_saturating_workload(
+                config, n_slots, seed=self.seed
+            )
+        raise ConfigError(f"unknown bench workload {self.workload!r}")
+
+    def trace_content_key(self, slots_scale: float = 1.0) -> str:
+        """Content key of the panel's trace for the trace store.
+
+        Covers everything the generators consume — recipe, port count,
+        slot count, load, seed. Buffer size is deliberately absent: no
+        bench generator reads ``B``, which is what lets a B-varied
+        pipeline cell row share one stored trace.
+        """
+        n_slots = max(1, int(round(self.n_slots * slots_scale)))
+        return (
+            f"bench|{self.workload}|{self.model}|ports={self.n_ports}"
+            f"|slots={n_slots}|load={self.load!r}|seed={self.seed}"
+        )
+
     def spec(self) -> Dict[str, object]:
         return {
             "model": self.model,
@@ -478,6 +532,165 @@ def run_bench(
     return report
 
 
+# ----------------------------------------------------------------------
+# End-to-end pipeline bench (trace gen + policy runs + OPT per cell)
+# ----------------------------------------------------------------------
+
+#: Pipeline panels gated by CI (the two large-n sweep-shaped panels).
+PIPELINE_PANELS: Tuple[str, ...] = (
+    "mmpp-proc-large",
+    "adversarial-proc-large",
+    "adversarial-value-large",
+)
+
+#: Cell rows of one pipeline panel: buffer sizes as fractions of the
+#: panel's pinned ``B`` — a miniature Fig. 5 B-sweep whose cells share
+#: one trace content (no bench generator reads ``B``).
+_PIPELINE_BUFFER_STEPS: Tuple[float, ...] = (0.5, 1.0, 1.5)
+
+
+def _pipeline_buffers(panel: BenchPanel) -> List[int]:
+    buffers = []
+    for step in _PIPELINE_BUFFER_STEPS:
+        b = max(panel.n_ports, int(round(panel.buffer_size * step)))
+        if b not in buffers:
+            buffers.append(b)
+    return buffers
+
+
+def run_pipeline_panel_bench(
+    panel: BenchPanel,
+    *,
+    accelerated: bool = True,
+    slots_scale: float = 1.0,
+) -> Dict[str, object]:
+    """Time one panel as an end-to-end miniature sweep.
+
+    A *cell* is one ``(buffer size, policy)`` pair — exactly the shape
+    of a :func:`repro.analysis.sweep.run_sweep` cell: acquire the
+    trace, run the policy, run the OPT surrogate, record both
+    objectives. Trace generation is *included* in the timed region
+    (unlike :func:`run_panel_bench`, which times the slot loop alone),
+    and every cell pays its own OPT run, as the real sweep does.
+
+    ``accelerated=False`` is the tracked baseline: object traces
+    regenerated per cell (what ``run_sweep`` did before the trace
+    store existed), the vectorized ALG engine (the pre-pipeline state
+    of the repo), and the reference ``bisect`` OPT surrogate.
+    ``accelerated=True`` swaps in the columnar trace pipeline:
+    columnar twin generators, cross-cell reuse through a
+    :class:`~repro.analysis.tracestore.TraceStore`, zero-copy columnar
+    ingestion, and the vectorized OPT surrogate. Per-cell objectives
+    (ALG and OPT) are recorded so any decision drift between the two
+    modes shows up as a diff, not a silent wrong speedup.
+    """
+    from dataclasses import replace
+
+    from repro.analysis.tracestore import TraceStore
+    from repro.opt.surrogate import make_surrogate
+
+    by_value = panel.model != "processing"
+    buffers = _pipeline_buffers(panel)
+    store = TraceStore() if accelerated else None
+    opt_engine = "vectorized" if accelerated else "reference"
+    n_slots = max(1, int(round(panel.n_slots * slots_scale)))
+
+    cells: List[Dict[str, object]] = []
+    started = time.perf_counter()
+    for buffer_size in buffers:
+        cell_panel = replace(panel, buffer_size=buffer_size)
+        config = cell_panel.config()
+        for policy_name in panel.policies:
+            if store is not None:
+                trace = store.get_or_build(
+                    panel.trace_content_key(slots_scale),
+                    lambda: cell_panel.columnar_trace(slots_scale),
+                )
+            else:
+                trace = cell_panel.trace(slots_scale)
+            system = PolicySystem(
+                config, make_policy(policy_name), engine="vectorized"
+            )
+            metrics = run_system(system, trace)
+            opt = make_surrogate(config, by_value, engine=opt_engine)
+            opt_metrics = run_system(opt, trace)
+            cells.append(
+                {
+                    "buffer_size": buffer_size,
+                    "policy": policy_name,
+                    "objectives": {
+                        policy_name: metrics.objective(by_value),
+                        "OPT": opt_metrics.objective(by_value),
+                    },
+                }
+            )
+    elapsed = time.perf_counter() - started
+
+    n_cells = len(cells)
+    return {
+        "spec": panel.spec(),
+        "buffers": buffers,
+        "n_slots": n_slots,
+        "cells": cells,
+        "elapsed_s": round(elapsed, 6),
+        "cells_per_s": round(
+            n_cells / elapsed if elapsed > 0 else 0.0, 4
+        ),
+        "slots_per_s": round(
+            n_cells * n_slots / elapsed if elapsed > 0 else 0.0, 2
+        ),
+    }
+
+
+def run_pipeline_bench(
+    panels: Sequence[BenchPanel],
+    *,
+    tag: str = "pipeline",
+    accelerated: bool = True,
+    slots_scale: float = 1.0,
+    repeats: int = 1,
+    progress=None,
+) -> Dict[str, object]:
+    """Assemble an end-to-end pipeline report (``kind: "pipeline"``).
+
+    The headline rate is ``cells_per_s`` — end-to-end sweep cells per
+    second — which :func:`compare_reports` / :func:`compare_speedup`
+    pick up automatically for pipeline reports. ``repeats`` keeps each
+    panel's best run, like :func:`run_bench`.
+    """
+    if repeats < 1:
+        raise ConfigError(f"repeats must be >= 1, got {repeats}")
+    report: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "kind": "pipeline",
+        "tag": tag,
+        "mode": "accelerated" if accelerated else "baseline",
+        "slots_scale": slots_scale,
+        "repeats": repeats,
+        "created": datetime.now(timezone.utc).isoformat(),
+        "environment": _environment(),
+        "panels": {},
+    }
+    for panel in panels:
+        result = run_pipeline_panel_bench(
+            panel, accelerated=accelerated, slots_scale=slots_scale
+        )
+        for _ in range(repeats - 1):
+            again = run_pipeline_panel_bench(
+                panel, accelerated=accelerated, slots_scale=slots_scale
+            )
+            if again["cells_per_s"] > result["cells_per_s"]:
+                result = again
+        report["panels"][panel.name] = result
+        if progress is not None:
+            progress(
+                f"{panel.name}: {result['cells_per_s']:.2f} cells/s "
+                f"({result['elapsed_s']:.2f}s for "
+                f"{len(result['cells'])} cells)"
+            )
+    return report
+
+
 def write_report(report: Mapping[str, object], out_dir: Path | str) -> Path:
     """Write the report as ``<out_dir>/BENCH_<tag>.json``; returns path.
 
@@ -626,6 +839,12 @@ def format_obs_report(report: Mapping[str, object]) -> str:
 # ----------------------------------------------------------------------
 
 
+def _panel_rate(panel: Mapping[str, object]) -> float:
+    """A panel's headline rate: ``cells_per_s`` for pipeline reports
+    (end-to-end sweep cells), ``slots_per_s`` for engine reports."""
+    return float(panel.get("cells_per_s", panel.get("slots_per_s", 0.0)))
+
+
 @dataclass(frozen=True)
 class Regression:
     """One panel whose throughput fell below the allowed fraction."""
@@ -667,8 +886,8 @@ def compare_reports(
         base = base_panels.get(name)
         if base is None:
             continue
-        base_rate = float(base["slots_per_s"])
-        rate = float(panel["slots_per_s"])
+        base_rate = _panel_rate(base)
+        rate = _panel_rate(panel)
         allowed = (1.0 - max_regression) * base_rate
         if rate < allowed:
             regressions.append(
@@ -747,16 +966,14 @@ def compare_speedup(
             shortfalls.append(
                 SpeedupShortfall(
                     panel=name,
-                    current=0.0 if cur is None else float(cur["slots_per_s"]),
-                    baseline=(
-                        0.0 if base is None else float(base["slots_per_s"])
-                    ),
+                    current=0.0 if cur is None else _panel_rate(cur),
+                    baseline=0.0 if base is None else _panel_rate(base),
                     required=required,
                 )
             )
             continue
-        rate = float(cur["slots_per_s"])
-        base_rate = float(base["slots_per_s"])
+        rate = _panel_rate(cur)
+        base_rate = _panel_rate(base)
         if rate < required * base_rate:
             shortfalls.append(
                 SpeedupShortfall(
@@ -767,6 +984,21 @@ def compare_speedup(
                 )
             )
     return shortfalls
+
+
+def format_pipeline_report(report: Mapping[str, object]) -> str:
+    """Human-readable table of a pipeline report (CLI output)."""
+    lines = [
+        f"# pipeline bench tag={report['tag']} mode={report['mode']} "
+        f"scale={report['slots_scale']}",
+        f"{'panel':26s} {'cells/s':>10s} {'cells':>6s} {'time':>8s}",
+    ]
+    for name, panel in report["panels"].items():
+        lines.append(
+            f"{name:26s} {panel['cells_per_s']:10.2f} "
+            f"{len(panel['cells']):6d} {panel['elapsed_s']:7.2f}s"
+        )
+    return "\n".join(lines)
 
 
 def format_report(report: Mapping[str, object]) -> str:

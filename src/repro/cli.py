@@ -154,6 +154,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             journal=journal,
             fault_injector=injector,
             engine=args.engine,
+            trace_backend=args.trace_backend,
+            trace_reuse=args.trace_reuse or None,
         )
     except SweepInterrupted as exc:
         print(f"# interrupted: {exc}", file=sys.stderr)
@@ -282,6 +284,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
             if args.progress
             else None
         ),
+        engine=args.engine or "reference",
+        trace_backend=args.trace_backend or "object",
+        trace_reuse=bool(args.trace_reuse),
     )
     write_report(args.out, options)
     print(f"# wrote {args.out}")
@@ -314,6 +319,68 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"n={panel.n_ports:<3d} B={panel.buffer_size:<4d} "
                 f"slots={panel.n_slots}"
             )
+        return 0
+
+    if args.pipeline:
+        from repro.bench import (
+            PIPELINE_PANELS,
+            format_pipeline_report,
+            run_pipeline_bench,
+        )
+
+        panels = select_panels(args.panels or list(PIPELINE_PANELS))
+        accelerated = args.pipeline_mode != "baseline"
+        tag = args.tag
+        if tag == "local":
+            tag = "pipeline" if accelerated else "pipeline_base"
+        report = run_pipeline_bench(
+            panels,
+            tag=tag,
+            accelerated=accelerated,
+            slots_scale=args.slots_scale,
+            repeats=args.repeats,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+        print(format_pipeline_report(report))
+        path = write_report(report, args.out_dir)
+        print(f"# wrote {path}")
+        if args.baseline:
+            baseline = load_report(args.baseline)
+            if args.min_speedup is not None:
+                shortfalls = compare_speedup(
+                    report,
+                    baseline,
+                    min_speedup=args.min_speedup,
+                    panels=args.speedup_panels,
+                    tolerance=args.max_regression,
+                )
+                if shortfalls:
+                    print(
+                        f"# SPEEDUP SHORTFALL vs {args.baseline} "
+                        f"(floor {args.min_speedup:g}x - "
+                        f"{args.max_regression:.0%}):",
+                        file=sys.stderr,
+                    )
+                    for shortfall in shortfalls:
+                        print(f"#   {shortfall}", file=sys.stderr)
+                    return 1
+                print(
+                    f"# pipeline speedup >= {args.min_speedup:g}x "
+                    f"(-{args.max_regression:.0%} fence) vs "
+                    f"{args.baseline}"
+                )
+                return 0
+            regressions = compare_reports(
+                report, baseline, max_regression=args.max_regression
+            )
+            if regressions:
+                print(
+                    f"# REGRESSION vs {args.baseline}:", file=sys.stderr
+                )
+                for regression in regressions:
+                    print(f"#   {regression}", file=sys.stderr)
+                return 1
+            print(f"# no regression vs {args.baseline}")
         return 0
 
     panels = select_panels(args.panels)
@@ -484,6 +551,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_dir=None,  # caching would hide the cost being measured
         progress=progress,
+        engine=args.engine,
+        trace_backend=args.trace_backend,
+        trace_reuse=args.trace_reuse or None,
     )
     if not isinstance(result, SweepResult):
         print(
@@ -496,12 +566,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print(f"# {args.experiment}: {describe_experiment(args.experiment)}")
     print(f"# {stats.summary()}")
     total = sum(stats.stage_seconds.values())
-    print(f"{'stage':12s} {'seconds':>10s} {'share':>7s}")
-    for name, seconds in sorted(
+    ranked = sorted(
         stats.stage_seconds.items(), key=lambda item: item[1], reverse=True
-    ):
+    )
+    print(f"{'stage':12s} {'seconds':>10s} {'share':>7s}")
+    for index, (name, seconds) in enumerate(ranked):
         share = seconds / total if total > 0 else 0.0
-        print(f"{name:12s} {seconds:10.4f} {share:6.1%}")
+        flag = "  <- dominant" if index == 0 and total > 0 else ""
+        print(f"{name:12s} {seconds:10.4f} {share:6.1%}{flag}")
     overhead = stats.elapsed_seconds - total
     print(f"{'other':12s} {max(overhead, 0.0):10.4f}")
     return 0
@@ -627,6 +699,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(decision-identical by contract; default reference)"
         ),
     )
+    _add_pipeline_flags(run_parser)
     _add_sweep_engine_flags(run_parser)
     _add_resilience_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
@@ -729,6 +802,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--panels", type=int, nargs="*", default=None,
         help="restrict to these Fig. 5 panels (default: all nine)",
     )
+    report_parser.add_argument(
+        "--engine", choices=("reference", "vectorized"), default=None,
+        help="ALG-side simulation engine for the Fig. 5 panels",
+    )
+    _add_pipeline_flags(report_parser)
     _add_sweep_engine_flags(report_parser)
     report_parser.set_defaults(func=_cmd_report)
 
@@ -793,6 +871,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--list", action="store_true",
         help="list the pinned panels and exit",
+    )
+    bench_parser.add_argument(
+        "--pipeline", action="store_true",
+        help=(
+            "measure end-to-end sweep cells (trace gen + policies + "
+            "OPT surrogate) instead of the raw slot loop; default "
+            "panels are the large-n pipeline set"
+        ),
+    )
+    bench_parser.add_argument(
+        "--pipeline-mode", choices=("accelerated", "baseline"),
+        default="accelerated",
+        help=(
+            "accelerated: columnar traces + reuse + vectorized OPT; "
+            "baseline: object traces regenerated per cell + reference "
+            "OPT (the tracked pre-pipeline state)"
+        ),
     )
     bench_parser.add_argument(
         "--obs-overhead", action="store_true",
@@ -881,8 +976,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="report per-cell progress on stderr",
     )
+    profile_parser.add_argument(
+        "--engine", choices=("reference", "vectorized"), default=None,
+        help="ALG-side simulation engine (default reference)",
+    )
+    _add_pipeline_flags(profile_parser)
     profile_parser.set_defaults(func=_cmd_profile)
     return parser
+
+
+def _add_pipeline_flags(parser: argparse.ArgumentParser) -> None:
+    """Trace-pipeline knobs shared by ``run``/``report``/``profile``.
+
+    Like ``--engine`` they are execution-only: the columnar generators
+    are byte-identical twins of the object generators, and trace reuse
+    only skips regenerating identical traces — output bytes never
+    change (docs/PIPELINE.md).
+    """
+    parser.add_argument(
+        "--trace-backend", choices=("object", "columnar"), default=None,
+        help=(
+            "MMPP trace generator family for Fig. 5 panels "
+            "(byte-identical streams; columnar feeds the vectorized "
+            "engine without packet objects; default object)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-reuse", action="store_true",
+        help=(
+            "generate each distinct trace once per sweep and replay it "
+            "across cells that provably share it (B/C sweeps)"
+        ),
+    )
 
 
 def _add_sweep_engine_flags(parser: argparse.ArgumentParser) -> None:

@@ -546,6 +546,70 @@ class VectorizedSwitch:
         if len(_VALIDATED) > _VALIDATED_CAP:
             _VALIDATED.popitem(last=False)
 
+    @hot_path
+    def _validate_columns(
+        self,
+        ports: Sequence[int],
+        works: Sequence[int],
+        values: Sequence[float],
+    ) -> None:
+        """Validate whole trace columns before the first ingested slot.
+
+        The columnar ingestion path has no ``Packet.__post_init__``
+        guarding field ranges, so this also enforces the lower bounds
+        the object path gets for free (``port >= 0``, ``work >= 1``,
+        ``value > 0``). Memoized on the ``ports`` column identity like
+        burst validation, so replays of one trace validate once.
+        """
+        if not ports:
+            return
+        key = (id(ports), id(self.config))
+        if key in _VALIDATED:
+            return
+        n = self._nr
+        if self._by_value:
+            for i in range(len(ports)):
+                p = ports[i]
+                if not 0 <= p < n:
+                    raise TraceError(
+                        f"packet destined to port {p}, switch has "
+                        f"{n} ports"
+                    )
+                if works[i] < 1:
+                    raise TraceError(
+                        f"packet work must be >= 1, got {works[i]}"
+                    )
+                if values[i] <= 0:
+                    raise TraceError(
+                        f"packet value must be > 0, got {values[i]}"
+                    )
+        else:
+            wcol = self._works
+            p = 0
+            try:
+                for i in range(len(ports)):
+                    p = ports[i]
+                    if p < 0:
+                        raise IndexError
+                    if works[i] != wcol[p]:
+                        raise TraceError(
+                            f"packet work {works[i]} violates per-port "
+                            f"requirement w_{p}={wcol[p]} "
+                            "(Section III model constraint)"
+                        )
+                    if values[i] <= 0:
+                        raise TraceError(
+                            f"packet value must be > 0, got {values[i]}"
+                        )
+            except IndexError:
+                raise TraceError(
+                    f"packet destined to port {p}, switch has "
+                    f"{n} ports"
+                ) from None
+        _VALIDATED[key] = (ports, self.config)
+        if len(_VALIDATED) > _VALIDATED_CAP:
+            _VALIDATED.popitem(last=False)
+
     def _classify(self, policy: Any) -> int:
         lqd, lwd, bpd, pushout, threshold = _load_policy_classes()
         self._greedy = isinstance(policy, pushout)
@@ -669,6 +733,67 @@ class VectorizedSwitch:
         observer.on_slot_end(self.current_slot, self.occupancy)
         self.current_slot += 1
         return transmitted
+
+    @hot_path
+    def run_slot_columns(
+        self,
+        policy: Any,
+        ports: Sequence[int],
+        works: Sequence[int],
+        values: Sequence[float],
+        arrivals: Optional[Sequence[int]],
+        lo: int,
+        hi: int,
+    ) -> List[Packet]:
+        """One full slot ingested straight from flat trace columns.
+
+        The burst is the column span ``[lo, hi)`` of a
+        :class:`repro.traffic.columnar.ColumnarTrace`: no ``Packet``
+        objects are constructed on the fast path (the generic kernel
+        materializes one transient template per *policy-consulted*
+        arrival only). ``arrivals`` is ``None`` when every packet's
+        arrival slot is the current slot. Decision/metrics parity with
+        :meth:`run_slot` over the materialized burst is exact; with an
+        observer attached the burst is materialized and run through the
+        per-packet slow path.
+        """
+        if self.observer is not None:
+            slot = self.current_slot
+            burst = [
+                _new_packet(
+                    ports[i],
+                    works[i],
+                    values[i],
+                    arrivals[i] if arrivals is not None else slot,
+                    next(self._seq),
+                    works[i],
+                )
+                for i in range(lo, hi)
+            ]
+            return self._run_slot_slow(burst, policy)
+        self._validate_columns(ports, works, values)
+        if hi > lo:
+            self.metrics.arrived += hi - lo
+            kind = self._kernel_for(policy)
+            if kind == K_LQD:
+                self._arrive_lqd_cols(ports, values, arrivals, lo, hi)
+            elif kind == K_LWD:
+                self._arrive_lwd_cols(ports, values, arrivals, lo, hi)
+            elif kind == K_BPD:
+                self._arrive_bpd_cols(ports, values, arrivals, lo, hi)
+            else:
+                self._arrive_generic_cols(
+                    policy, ports, works, values, arrivals, lo, hi
+                )
+        if self._fast_fifo:
+            self._transmit_fifo_fast()
+        elif self._by_value:
+            self._transmit_priority()
+        else:
+            self._transmit_fifo_generic()
+        self.metrics.record_slot(self.occupancy)
+        self.current_slot += 1
+        return []
 
     def fast_forward(self, n_slots: int) -> None:
         """Advance over ``n_slots`` idle slots (empty buffer required)."""
@@ -847,6 +972,32 @@ class VectorizedSwitch:
             self._tw[port] += packet.work  # type: ignore[index]
         else:
             self._stores[port].append((value, packet.arrival_slot, seq))
+            if was_empty:
+                self._rearm_head(port, self._works[port])
+        self._tv[port] += value
+        self._lens[port] += 1
+        if was_empty:
+            self._activate(port)
+
+    @hot_path
+    def _admit_cols(
+        self, port: int, work: int, value: float, arrival_slot: int
+    ) -> None:
+        """Enqueue a packet given as column fields (no object, seq 0)."""
+        was_empty = self._lens[port] == 0
+        if self._by_value:
+            vals = self._vals[port]
+            pos = bisect_left(vals, value)
+            vals.insert(pos, value)
+            self._recs[port].insert(
+                pos, [value, arrival_slot, 0, work, work]
+            )
+            self._tw[port] += work  # type: ignore[index]
+        elif not self._fast_fifo:
+            self._stores[port].append([value, arrival_slot, 0, work])
+            self._tw[port] += work  # type: ignore[index]
+        else:
+            self._stores[port].append((value, arrival_slot, 0))
             if was_empty:
                 self._rearm_head(port, self._works[port])
         self._tv[port] += value
@@ -1430,6 +1581,484 @@ class VectorizedSwitch:
         lens[port] = length - 1
         if length == 1:
             self._deactivate(port)
+
+    # ------------------------------------------------------------------
+    # Columnar arrival kernels (trace columns in, no Packet objects)
+    # ------------------------------------------------------------------
+
+    @hot_path
+    def _arrive_lqd_cols(
+        self,
+        ports: Sequence[int],
+        values: Sequence[float],
+        arrivals: Optional[Sequence[int]],
+        lo: int,
+        hi: int,
+    ) -> None:
+        """Columnar twin of :meth:`_arrive_lqd` over trace columns."""
+        metrics = self.metrics
+        dropped_by_port = metrics.dropped_by_port
+        lens = self._lens
+        tv = self._tv
+        stores = self._stores
+        hr = self._hr
+        amask = self._amask
+        sched = self._sched
+        hexp = self._hexp
+        tick = self._tick
+        active = self._active
+        is_act = self._is_act
+        works = self._works
+        rank = self._rank
+        porder = self._porder
+        bit = self._bit
+        masks = self._masks
+        maxl = self._maxl
+        topr = self._topr
+        occ = self.occupancy
+        cap = self._B
+        slot = self.current_slot
+        accepted = 0
+        dropped = 0
+        pushed = 0
+        free = cap - occ
+        split = lo
+        if free > 0:
+            nb = hi - lo
+            take = free if free < nb else nb
+            split = lo + take
+            occ += take
+            accepted += take
+            for i in range(lo, split):
+                p = ports[i]
+                v = values[i]
+                a = arrivals[i] if arrivals is not None else slot
+                r = rank[p]
+                ol = lens[p]
+                nl = ol + 1
+                stores[p].append((v, a, 0))
+                tv[p] += v
+                lens[p] = nl
+                if ol:
+                    masks[ol] ^= bit[r]
+                else:
+                    insort(active, p)
+                    is_act[p] = True
+                    if sched is None:
+                        hr[p] = works[p]
+                        amask[p] = 1
+                    else:
+                        e = tick + works[p]
+                        hexp[p] = e
+                        b = sched.get(e)
+                        if b is None:
+                            sched[e] = [p]
+                        else:
+                            b.append(p)
+                masks[nl] |= bit[r]
+                if nl > maxl:
+                    maxl = nl
+                    topr = r
+                elif nl == maxl and r > topr:
+                    topr = r
+        for i in range(split, hi):
+            p = ports[i]
+            r = rank[p]
+            ol = lens[p]
+            nl = ol + 1
+            if nl > maxl or (nl == maxl and r > topr):
+                dropped += 1
+                dropped_by_port[p] += 1
+                continue
+            t = porder[topr]
+            masks[maxl] ^= bit[topr]
+            vl = maxl - 1
+            lens[t] = vl
+            vv = stores[t].pop()[0]
+            tv[t] -= vv
+            if vl:
+                masks[vl] |= bit[topr]
+            else:
+                del active[bisect_left(active, t)]
+                is_act[t] = False
+                if sched is None:
+                    hr[t] = 1
+                    amask[t] = 0
+            pushed += 1
+            dropped_by_port[t] += 1
+            v = values[i]
+            a = arrivals[i] if arrivals is not None else slot
+            stores[p].append((v, a, 0))
+            tv[p] += v
+            lens[p] = nl
+            accepted += 1
+            if ol:
+                masks[ol] ^= bit[r]
+            else:
+                insort(active, p)
+                is_act[p] = True
+                if sched is None:
+                    hr[p] = works[p]
+                    amask[p] = 1
+                else:
+                    e = tick + works[p]
+                    hexp[p] = e
+                    b = sched.get(e)
+                    if b is None:
+                        sched[e] = [p]
+                    else:
+                        b.append(p)
+            masks[nl] |= bit[r]
+            while not masks[maxl]:
+                maxl -= 1
+            topr = masks[maxl].bit_length() - 1
+        self.occupancy = occ
+        self._maxl = maxl
+        self._topr = topr
+        metrics.accepted += accepted
+        metrics.dropped += dropped
+        metrics.pushed_out += pushed
+
+    @hot_path
+    def _arrive_lwd_cols(
+        self,
+        ports: Sequence[int],
+        values: Sequence[float],
+        arrivals: Optional[Sequence[int]],
+        lo: int,
+        hi: int,
+    ) -> None:
+        """Columnar twin of :meth:`_arrive_lwd` over trace columns."""
+        metrics = self.metrics
+        dropped_by_port = metrics.dropped_by_port
+        lens = self._lens
+        tv = self._tv
+        stores = self._stores
+        hr = self._hr
+        amask = self._amask
+        sched = self._sched
+        hexp = self._hexp
+        tick = self._tick
+        active = self._active
+        is_act = self._is_act
+        works = self._works
+        rank = self._rank
+        porder = self._porder
+        codes = self._codes
+        pcode = self._pcode
+        ncode = self._ncode
+        off = self._off
+        nr = self._nr
+        occ = self.occupancy
+        cap = self._B
+        slot = self.current_slot
+        accepted = 0
+        dropped = 0
+        pushed = 0
+        free = cap - occ
+        split = lo
+        if free > 0:
+            nb = hi - lo
+            take = free if free < nb else nb
+            split = lo + take
+            occ += take
+            accepted += take
+            for i in range(lo, split):
+                p = ports[i]
+                w = works[p]
+                ol = lens[p]
+                if ol:
+                    nc = ncode[p]
+                    del codes[bisect_left(codes, pcode[p])]
+                else:
+                    nc = (w + off) * nr + rank[p]
+                    insort(active, p)
+                    is_act[p] = True
+                    if sched is None:
+                        hr[p] = w
+                        amask[p] = 1
+                    else:
+                        e = tick + w
+                        hexp[p] = e
+                        b = sched.get(e)
+                        if b is None:
+                            sched[e] = [p]
+                        else:
+                            b.append(p)
+                insort(codes, nc)
+                pcode[p] = nc
+                ncode[p] = nc + w * nr
+                stores[p].append(
+                    (
+                        values[i],
+                        arrivals[i] if arrivals is not None else slot,
+                        0,
+                    )
+                )
+                tv[p] += values[i]
+                lens[p] = ol + 1
+        for i in range(split, hi):
+            p = ports[i]
+            ol = lens[p]
+            if ol:
+                nc = ncode[p]
+            else:
+                nc = (works[p] + off) * nr + rank[p]
+            top = codes[-1]
+            if nc > top:
+                dropped += 1
+                dropped_by_port[p] += 1
+                continue
+            t = porder[top % nr]
+            codes.pop()
+            vl = lens[t] - 1
+            lens[t] = vl
+            vv = stores[t].pop()[0]
+            tv[t] -= vv
+            if vl:
+                tc = top - works[t] * nr
+                pcode[t] = tc
+                ncode[t] = top
+                insort(codes, tc)
+            else:
+                del active[bisect_left(active, t)]
+                is_act[t] = False
+                if sched is None:
+                    hr[t] = 1
+                    amask[t] = 0
+            pushed += 1
+            dropped_by_port[t] += 1
+            w = works[p]
+            if ol:
+                del codes[bisect_left(codes, pcode[p])]
+            else:
+                insort(active, p)
+                is_act[p] = True
+                if sched is None:
+                    hr[p] = w
+                    amask[p] = 1
+                else:
+                    e = tick + w
+                    hexp[p] = e
+                    b = sched.get(e)
+                    if b is None:
+                        sched[e] = [p]
+                    else:
+                        b.append(p)
+            insort(codes, nc)
+            pcode[p] = nc
+            ncode[p] = nc + w * nr
+            stores[p].append(
+                (
+                    values[i],
+                    arrivals[i] if arrivals is not None else slot,
+                    0,
+                )
+            )
+            tv[p] += values[i]
+            lens[p] = ol + 1
+            accepted += 1
+        self.occupancy = occ
+        metrics.accepted += accepted
+        metrics.dropped += dropped
+        metrics.pushed_out += pushed
+
+    @hot_path
+    def _arrive_bpd_cols(
+        self,
+        ports: Sequence[int],
+        values: Sequence[float],
+        arrivals: Optional[Sequence[int]],
+        lo: int,
+        hi: int,
+    ) -> None:
+        """Columnar twin of :meth:`_arrive_bpd` over trace columns."""
+        metrics = self.metrics
+        dropped_by_port = metrics.dropped_by_port
+        lens = self._lens
+        tv = self._tv
+        stores = self._stores
+        hr = self._hr
+        amask = self._amask
+        sched = self._sched
+        hexp = self._hexp
+        tick = self._tick
+        active = self._active
+        is_act = self._is_act
+        works = self._works
+        rank = self._rank
+        porder = self._porder
+        bit = self._bit
+        nm = self._nm
+        occ = self.occupancy
+        cap = self._B
+        slot = self.current_slot
+        accepted = 0
+        dropped = 0
+        pushed = 0
+        free = cap - occ
+        split = lo
+        if free > 0:
+            nb = hi - lo
+            take = free if free < nb else nb
+            split = lo + take
+            occ += take
+            accepted += take
+            for i in range(lo, split):
+                p = ports[i]
+                ol = lens[p]
+                stores[p].append(
+                    (
+                        values[i],
+                        arrivals[i] if arrivals is not None else slot,
+                        0,
+                    )
+                )
+                tv[p] += values[i]
+                lens[p] = ol + 1
+                if not ol:
+                    nm |= bit[rank[p]]
+                    insort(active, p)
+                    is_act[p] = True
+                    if sched is None:
+                        hr[p] = works[p]
+                        amask[p] = 1
+                    else:
+                        e = tick + works[p]
+                        hexp[p] = e
+                        b = sched.get(e)
+                        if b is None:
+                            sched[e] = [p]
+                        else:
+                            b.append(p)
+        for i in range(split, hi):
+            p = ports[i]
+            r = rank[p]
+            vr = nm.bit_length() - 1
+            if r > vr:
+                dropped += 1
+                dropped_by_port[p] += 1
+                continue
+            t = porder[vr]
+            vl = lens[t] - 1
+            lens[t] = vl
+            vv = stores[t].pop()[0]
+            tv[t] -= vv
+            if not vl:
+                nm ^= bit[vr]
+                del active[bisect_left(active, t)]
+                is_act[t] = False
+                if sched is None:
+                    hr[t] = 1
+                    amask[t] = 0
+            pushed += 1
+            dropped_by_port[t] += 1
+            ol = lens[p]
+            stores[p].append(
+                (
+                    values[i],
+                    arrivals[i] if arrivals is not None else slot,
+                    0,
+                )
+            )
+            tv[p] += values[i]
+            lens[p] = ol + 1
+            accepted += 1
+            if not ol:
+                nm |= bit[r]
+                insort(active, p)
+                is_act[p] = True
+                if sched is None:
+                    hr[p] = works[p]
+                    amask[p] = 1
+                else:
+                    e = tick + works[p]
+                    hexp[p] = e
+                    b = sched.get(e)
+                    if b is None:
+                        sched[e] = [p]
+                    else:
+                        b.append(p)
+        self.occupancy = occ
+        self._nm = nm
+        metrics.accepted += accepted
+        metrics.dropped += dropped
+        metrics.pushed_out += pushed
+
+    @hot_path
+    def _arrive_generic_cols(
+        self,
+        policy: Any,
+        ports: Sequence[int],
+        works: Sequence[int],
+        values: Sequence[float],
+        arrivals: Optional[Sequence[int]],
+        lo: int,
+        hi: int,
+    ) -> None:
+        """Columnar twin of :meth:`_arrive_generic`.
+
+        Bulk greedy accepts and bulk threshold drops never build a
+        packet; only arrivals that actually consult ``policy.admit``
+        materialize a transient template for the call.
+        """
+        view = self.view
+        metrics = self.metrics
+        dropped_by_port = metrics.dropped_by_port
+        greedy = self._greedy
+        threshold = self._threshold
+        cap = self._B
+        slot = self.current_slot
+        for i in range(lo, hi):
+            p = ports[i]
+            if self.occupancy < cap:
+                if greedy:
+                    self._admit_cols(
+                        p,
+                        works[i],
+                        values[i],
+                        arrivals[i] if arrivals is not None else slot,
+                    )
+                    self.occupancy += 1
+                    metrics.accepted += 1
+                    continue
+            elif threshold:
+                metrics.dropped += 1
+                dropped_by_port[p] += 1
+                continue
+            w = works[i]
+            v = values[i]
+            a = arrivals[i] if arrivals is not None else slot
+            pk = _new_packet(p, w, v, a, 0, w)
+            decision = policy.admit(view, pk)
+            action = decision.action
+            if action is Action.DROP:
+                metrics.dropped += 1
+                dropped_by_port[p] += 1
+                continue
+            if action is Action.PUSH_OUT:
+                victim_port = decision.victim_port
+                assert victim_port is not None  # enforced by Decision
+                if not 0 <= victim_port < self._nr:
+                    raise PolicyError(
+                        f"push-out victim port {victim_port} out of range"
+                    )
+                if self._lens[victim_port] == 0:
+                    raise PolicyError(
+                        f"policy pushed out from empty queue {victim_port}"
+                    )
+                self._pop_tail_fast(victim_port)
+                self.occupancy -= 1
+                metrics.pushed_out += 1
+                dropped_by_port[victim_port] += 1
+            if self.occupancy >= cap:
+                raise PolicyError(
+                    "policy accepted a packet into a full buffer "
+                    f"(occupancy={self.occupancy}, B={cap})"
+                )
+            self._admit_cols(p, w, v, a)
+            self.occupancy += 1
+            metrics.accepted += 1
 
     # ------------------------------------------------------------------
     # Fast transmission phases

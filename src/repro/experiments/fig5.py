@@ -25,15 +25,25 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.analysis.cache import SweepCache
 from repro.analysis.sweep import ProgressCallback, SweepResult, run_sweep
+from repro.analysis.tracestore import TraceKeyFn, TraceStore
 from repro.core.config import QueueDiscipline, SwitchConfig
 from repro.core.errors import ExperimentError
 from repro.resilience import FaultInjector, RunJournal, SupervisorOptions
+from repro.traffic.columnar import (
+    columnar_processing_workload,
+    columnar_value_port_workload,
+    columnar_value_uniform_workload,
+)
 from repro.traffic.workloads import (
     processing_capacity,
     processing_workload,
+    value_capacity,
     value_port_workload,
     value_uniform_workload,
 )
+
+#: Trace representations a panel can generate (docs/PIPELINE.md).
+TRACE_BACKENDS = ("object", "columnar")
 
 #: Policy line-ups per traffic regime, mirroring the paper's legends.
 PROCESSING_POLICIES: Tuple[str, ...] = (
@@ -192,8 +202,21 @@ def _panel_factories(
     spec: PanelSpec,
     n_slots: int,
     load: float,
-) -> Tuple[Callable, Callable]:
-    """Build (config_factory, trace_factory) for one panel."""
+    columnar: bool = False,
+) -> Tuple[Callable, Callable, TraceKeyFn]:
+    """Build (config_factory, trace_factory, trace_key) for one panel.
+
+    ``columnar`` swaps each object MMPP generator for its byte-identical
+    columnar twin (:mod:`repro.traffic.columnar`). ``trace_key`` maps a
+    cell to its trace's *content key* — a string over exactly the inputs
+    the cell's generator consumes (recipe, slot count, effective rate,
+    port layout, seed), so cells whose keys match provably generate
+    identical packet streams. Buffer size never enters a key (no MMPP
+    generator reads ``B``), and speedup sweeps share one key across all
+    ``C`` because their offered rate is anchored — which is what lets
+    the trace store collapse a whole B- or C-sweep row to one
+    generation per seed.
+    """
 
     def dims(v: float) -> Tuple[int, int, int]:
         k, b, c = spec.fixed_k, spec.fixed_b, spec.fixed_c
@@ -213,6 +236,9 @@ def _panel_factories(
     sweep_c = spec.param_name == "C"
 
     if spec.model == "processing":
+        generate = (
+            columnar_processing_workload if columnar else processing_workload
+        )
 
         def config_factory(v: float) -> SwitchConfig:
             k, b, c = dims(v)
@@ -225,16 +251,35 @@ def _panel_factories(
 
         def trace_factory(config: SwitchConfig, v: float, seed: int):
             if sweep_c:
-                return processing_workload(
+                return generate(
                     config, n_slots, absolute_rate=anchor_rate, seed=seed
                 )
-            return processing_workload(config, n_slots, load=load, seed=seed)
+            return generate(config, n_slots, load=load, seed=seed)
+
+        def trace_key(
+            config: SwitchConfig, v: float, seed: int
+        ) -> Optional[str]:
+            rate = (
+                anchor_rate
+                if sweep_c
+                else load * processing_capacity(config)
+            )
+            works = ",".join(str(w) for w in config.works)
+            return (
+                f"mmpp-500-v1|proc|slots={n_slots}|rate={rate!r}"
+                f"|ports={config.n_ports}|works={works}|seed={seed}"
+            )
 
     elif spec.model == "value-uniform":
         # The uniform regime follows the paper's reading that k scales the
         # switch: k output ports, values uniform on 1..k, and a *fixed*
         # offered rate, so growing k reduces congestion (Section V-C).
         anchor_rate = load * spec.fixed_k  # capacity at fixed k, C = 1
+        generate = (
+            columnar_value_uniform_workload
+            if columnar
+            else value_uniform_workload
+        )
 
         def config_factory(v: float) -> SwitchConfig:
             k, b, c = dims(v)
@@ -248,7 +293,7 @@ def _panel_factories(
 
         def trace_factory(config: SwitchConfig, v: float, seed: int):
             k, _b, _c = dims(v)
-            return value_uniform_workload(
+            return generate(
                 config,
                 n_slots,
                 max_value=k,
@@ -256,7 +301,19 @@ def _panel_factories(
                 seed=seed,
             )
 
+        def trace_key(
+            config: SwitchConfig, v: float, seed: int
+        ) -> Optional[str]:
+            k, _b, _c = dims(v)
+            return (
+                f"mmpp-500-v1|vu|slots={n_slots}|rate={anchor_rate!r}"
+                f"|ports={config.n_ports}|maxv={k}|seed={seed}"
+            )
+
     elif spec.model == "value-port":
+        generate = (
+            columnar_value_port_workload if columnar else value_port_workload
+        )
 
         def config_factory(v: float) -> SwitchConfig:
             k, b, c = dims(v)
@@ -266,15 +323,27 @@ def _panel_factories(
 
         def trace_factory(config: SwitchConfig, v: float, seed: int):
             if sweep_c:
-                return value_port_workload(
+                return generate(
                     config, n_slots, absolute_rate=anchor_rate, seed=seed
                 )
-            return value_port_workload(config, n_slots, load=load, seed=seed)
+            return generate(config, n_slots, load=load, seed=seed)
+
+        def trace_key(
+            config: SwitchConfig, v: float, seed: int
+        ) -> Optional[str]:
+            rate = (
+                anchor_rate if sweep_c else load * value_capacity(config)
+            )
+            values = ",".join(repr(x) for x in config.values)
+            return (
+                f"mmpp-500-v1|vport|slots={n_slots}|rate={rate!r}"
+                f"|ports={config.n_ports}|values={values}|seed={seed}"
+            )
 
     else:  # pragma: no cover - specs are static
         raise ExperimentError(f"unknown panel model {spec.model!r}")
 
-    return config_factory, trace_factory
+    return config_factory, trace_factory, trace_key
 
 
 def panel_cache_token(
@@ -315,6 +384,9 @@ def run_panel(
     journal: Optional[RunJournal] = None,
     fault_injector: Optional[FaultInjector] = None,
     engine: str = "reference",
+    trace_backend: str = "object",
+    trace_reuse: bool = False,
+    trace_store: Optional[TraceStore] = None,
 ) -> SweepResult:
     """Execute one Fig. 5 panel and return its sweep result.
 
@@ -329,12 +401,28 @@ def run_panel(
     :mod:`repro.resilience` and ``docs/RESILIENCE.md``. ``engine``
     selects the ALG-side simulation engine (``"reference"`` or
     ``"vectorized"``); the engines are decision-identical by contract,
-    so the panel's numbers do not depend on the choice.
+    so the panel's numbers do not depend on the choice. The same
+    contract covers ``trace_backend`` (``"object"`` or ``"columnar"``
+    MMPP generators — byte-identical packet streams) and
+    ``trace_reuse`` (generate each distinct trace once per sweep via a
+    :class:`~repro.analysis.tracestore.TraceStore`; pass
+    ``trace_store`` to share one store — and its artifacts — across
+    panels): none of the three changes a single output byte, so none
+    is part of cache keys or journal identity (docs/PIPELINE.md).
     """
     spec = PANELS.get(panel)
     if spec is None:
         raise ExperimentError(f"Fig. 5 has panels 1-9, not {panel}")
-    config_factory, trace_factory = _panel_factories(spec, n_slots, load)
+    if trace_backend not in TRACE_BACKENDS:
+        raise ExperimentError(
+            f"unknown trace backend {trace_backend!r}; "
+            f"expected one of {TRACE_BACKENDS}"
+        )
+    config_factory, trace_factory, trace_key = _panel_factories(
+        spec, n_slots, load, columnar=trace_backend == "columnar"
+    )
+    if trace_reuse and trace_store is None:
+        trace_store = TraceStore()
     by_value = spec.model != "processing"
     if cache is None and cache_dir is not None:
         cache = SweepCache(cache_dir)
@@ -369,4 +457,6 @@ def run_panel(
         journal=journal,
         fault_injector=fault_injector,
         engine=engine,
+        trace_store=trace_store if trace_reuse else None,
+        trace_key=trace_key if trace_reuse else None,
     )

@@ -144,6 +144,8 @@ def run_experiment(
     journal=None,
     fault_injector=None,
     engine: Optional[str] = None,
+    trace_backend: Optional[str] = None,
+    trace_reuse: Optional[bool] = None,
 ):
     """Run an experiment by id.
 
@@ -155,7 +157,11 @@ def run_experiment(
     to Fig. 5 panels only (theorem replays are single deterministic
     traces — there is nothing to fan out, memoize, or resume).
     ``engine`` selects the ALG-side simulation engine for Fig. 5 panels
-    (``"reference"``/``"vectorized"``; decision-identical by contract).
+    (``"reference"``/``"vectorized"``; decision-identical by contract),
+    ``trace_backend`` the MMPP generator family (``"object"``/
+    ``"columnar"``; byte-identical streams), and ``trace_reuse``
+    enables cross-cell trace reuse — all three execution-only knobs
+    (docs/PIPELINE.md), Fig. 5 panels only.
     """
     if experiment_id.startswith("fig5-"):
         panel = _panel_number(experiment_id)
@@ -178,6 +184,10 @@ def run_experiment(
             kwargs["fault_injector"] = fault_injector
         if engine is not None:
             kwargs["engine"] = engine
+        if trace_backend is not None:
+            kwargs["trace_backend"] = trace_backend
+        if trace_reuse is not None:
+            kwargs["trace_reuse"] = trace_reuse
         return run_panel(panel, **kwargs)
     if experiment_id == "skew":
         from repro.experiments.skewed import run_skew_sweep

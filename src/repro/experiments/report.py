@@ -17,6 +17,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.analysis.cache import SweepCache
 from repro.analysis.competitive import run_scenario
+from repro.analysis.tracestore import TraceStore
 from repro.resilience import ResilienceStats, atomic_write_text
 from repro.experiments.architecture import run_architecture_comparison
 from repro.experiments.fig5 import PANELS, run_panel
@@ -32,7 +33,10 @@ class ReportOptions:
     ``jobs`` and ``cache_dir`` configure the parallel sweep engine for
     the Fig. 5 panels (see :mod:`repro.analysis.sweep`); one cache is
     shared across all panels so an interrupted report resumes where it
-    stopped. Neither changes a single output byte of the tables.
+    stopped. ``engine``, ``trace_backend``, and ``trace_reuse`` pick
+    the simulation engine, MMPP generator family, and cross-cell trace
+    reuse (one store shared across panels) — see docs/PIPELINE.md.
+    None of these changes a single output byte of the tables.
     """
 
     n_slots: int = 1000
@@ -43,6 +47,9 @@ class ReportOptions:
     jobs: Optional[int] = None
     cache_dir: Optional[str] = None
     progress: Optional[Callable[[str], None]] = None
+    engine: str = "reference"
+    trace_backend: str = "object"
+    trace_reuse: bool = False
 
 
 def generate_report(options: Optional[ReportOptions] = None) -> str:
@@ -83,6 +90,7 @@ def generate_report(options: Optional[ReportOptions] = None) -> str:
             if options.cache_dir is not None
             else None
         )
+        trace_store = TraceStore() if options.trace_reuse else None
         out.write("## Fig. 5 panels\n\n")
         panel_stats = []
         for panel in panels:
@@ -94,6 +102,10 @@ def generate_report(options: Optional[ReportOptions] = None) -> str:
                 jobs=options.jobs,
                 cache=cache,
                 progress=options.progress,
+                engine=options.engine,
+                trace_backend=options.trace_backend,
+                trace_reuse=options.trace_reuse,
+                trace_store=trace_store,
             )
             panel_stats.append((panel, result.stats))
             out.write(f"### Panel ({panel}): {spec.title}\n\n")
@@ -103,23 +115,35 @@ def generate_report(options: Optional[ReportOptions] = None) -> str:
         out.write("### Sweep engine throughput\n\n")
         out.write(
             "| panel | cells | executed | cells/s | cache hit rate "
-            "| trace gen | policy runs | OPT runs |\n"
+            "| trace gen | policy runs | OPT runs | dominant |\n"
         )
-        out.write("|---|---|---|---|---|---|---|---|\n")
+        out.write("|---|---|---|---|---|---|---|---|---|\n")
         for panel, stats in panel_stats:
             stages = stats.stage_seconds
+            total = sum(stages.values())
+            cells = []
+            for stage in ("trace_gen", "policy_run", "opt_run"):
+                seconds = stages.get(stage, 0.0)
+                share = seconds / total if total > 0 else 0.0
+                cells.append(f"{seconds:.2f}s ({share:.0%})")
+            dominant = (
+                max(stages, key=stages.__getitem__) if stages else "-"
+            )
             out.write(
                 f"| {panel} | {stats.cells_total} | {stats.cells_executed} "
                 f"| {stats.cells_per_second:.2f} "
                 f"| {100 * stats.cache_hit_rate:.0f}% "
-                f"| {stages.get('trace_gen', 0.0):.2f}s "
-                f"| {stages.get('policy_run', 0.0):.2f}s "
-                f"| {stages.get('opt_run', 0.0):.2f}s |\n"
+                f"| {cells[0]} | {cells[1]} | {cells[2]} "
+                f"| {dominant} |\n"
             )
         out.write(
             "\nStage columns sum per-cell wall-clock (worker time under "
-            "`--jobs`); cached cells contribute nothing.\n\n"
+            "`--jobs`) with each stage's share of the cell total; "
+            "`dominant` names the stage the sweep actually spends its "
+            "time in. Cached cells contribute nothing.\n\n"
         )
+        if trace_store is not None:
+            out.write(f"{trace_store.summary()}.\n\n")
         # Resilience totals across all panels — only worth a line when
         # the supervised executor actually had to absorb something.
         totals = ResilienceStats()

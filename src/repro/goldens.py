@@ -48,7 +48,7 @@ DEFAULT_GOLDEN_PATH = Path("benchmarks") / "GOLDEN_streams.json"
 #: territory while still exercising congestion on every panel.
 GOLDEN_SLOTS_SCALE = 0.1
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 class DecisionStreamHasher(SlotObserver):
@@ -111,6 +111,51 @@ class DecisionStreamHasher(SlotObserver):
 
     def on_slot_end(self, slot: int, occupancy: int) -> None:
         self._feed(f"E {slot} {occupancy}\n")
+
+
+def trace_digest(trace: object) -> str:
+    """sha256 over canonical packet tokens, one line per packet.
+
+    Works on both trace shapes without materializing anything: a
+    :class:`~repro.traffic.trace.Trace` feeds its packet objects, a
+    :class:`~repro.traffic.columnar.ColumnarTrace` walks its columns
+    directly. A columnar twin generator is byte-identical to its object
+    counterpart exactly when the two digests agree — this is the
+    pinned half of the trace contract (the Hypothesis differential
+    suite is the relative half). Tokens carry slot index, port, work,
+    ``repr`` of the value, arrival slot, and the scripted-OPT tag
+    canonicalized to ``-1``/``0``/``1``.
+    """
+    hasher = hashlib.sha256()
+    feed = hasher.update
+    offsets = getattr(trace, "offsets", None)
+    if offsets is not None:
+        ports = trace.ports  # type: ignore[attr-defined]
+        works = trace.works  # type: ignore[attr-defined]
+        values = trace.values  # type: ignore[attr-defined]
+        opts = trace.opts  # type: ignore[attr-defined]
+        arrivals = trace.arrivals  # type: ignore[attr-defined]
+        n_slots = len(offsets) - 1
+        feed(f"slots={n_slots}\n".encode("ascii"))
+        for slot in range(n_slots):
+            for j in range(offsets[slot], offsets[slot + 1]):
+                arrival = arrivals[j] if arrivals is not None else slot
+                opt = opts[j] if opts is not None else -1
+                feed(
+                    f"{slot} {ports[j]},{works[j]},{values[j]!r},"
+                    f"{arrival},{opt}\n".encode("ascii")
+                )
+        return hasher.hexdigest()
+    slots = trace.slots  # type: ignore[attr-defined]
+    feed(f"slots={len(slots)}\n".encode("ascii"))
+    for slot, packets in enumerate(slots):
+        for p in packets:
+            opt = -1 if p.opt_accept is None else int(p.opt_accept)
+            feed(
+                f"{slot} {p.port},{p.work},{p.value!r},"
+                f"{p.arrival_slot},{opt}\n".encode("ascii")
+            )
+    return hasher.hexdigest()
 
 
 def metrics_digest(metrics: SwitchMetrics) -> str:
@@ -184,6 +229,14 @@ def compute_goldens(
                 f"unknown bench panel {name!r}; known: "
                 + ", ".join(PANELS)
             )
+        object_digest = trace_digest(panel.trace(slots_scale))
+        columnar_digest = trace_digest(panel.columnar_trace(slots_scale))
+        if columnar_digest != object_digest:
+            raise ConfigError(
+                f"{name}: columnar trace generator diverges from the "
+                f"object generator ({columnar_digest[:12]} != "
+                f"{object_digest[:12]})"
+            )
         policies: Dict[str, Dict[str, str]] = {}
         for policy_name in panel.policies:
             stream, metrics, fast_metrics = _run_hashed(
@@ -199,7 +252,10 @@ def compute_goldens(
                 "stream_sha256": stream,
                 "metrics_sha256": metrics,
             }
-        panels[name] = {"policies": policies}
+        panels[name] = {
+            "trace_sha256": object_digest,
+            "policies": policies,
+        }
     return doc
 
 
@@ -230,6 +286,13 @@ def check_goldens(
             if want is None:
                 problems.append(f"{name}: not in committed fixture")
                 continue
+            have_trace = got_panels[name]["trace_sha256"]
+            if have_trace != want["trace_sha256"]:
+                problems.append(
+                    f"{name} [{engine}]: trace_sha256 "
+                    f"{have_trace[:16]}... != committed "
+                    f"{want['trace_sha256'][:16]}..."
+                )
             for policy, want_digests in want["policies"].items():
                 have = got_panels[name]["policies"].get(policy)
                 if have is None:

@@ -30,7 +30,7 @@ from bisect import insort
 from typing import List, Protocol, Sequence
 
 from repro.core.config import SwitchConfig
-from repro.core.errors import TraceError
+from repro.core.errors import ConfigError, TraceError
 from repro.core.metrics import SwitchMetrics
 from repro.core.packet import Packet
 
@@ -170,8 +170,32 @@ class MaxValueSurrogate(_SinglePQSurrogate):
         return done
 
 
-def make_surrogate(config: SwitchConfig, by_value: bool) -> _SinglePQSurrogate:
-    """Build the appropriate surrogate for a model/objective."""
+def make_surrogate(
+    config: SwitchConfig, by_value: bool, *, engine: str = "reference"
+) -> System:
+    """Build the appropriate surrogate for a model/objective.
+
+    ``engine`` selects the implementation: ``"reference"`` is the
+    ``bisect`` single queue above (the oracle); ``"vectorized"`` is the
+    array-backed variant of :mod:`repro.opt.vectorized`, decision- and
+    metrics-identical by contract (see docs/PIPELINE.md). Measured
+    objectives are therefore engine-independent, which is why the
+    engine is not part of any cache or journal identity.
+    """
+    if engine == "vectorized":
+        from repro.opt.vectorized import (
+            VectorizedMaxValueSurrogate,
+            VectorizedSrptSurrogate,
+        )
+
+        if by_value:
+            return VectorizedMaxValueSurrogate(config)
+        return VectorizedSrptSurrogate(config)
+    if engine != "reference":
+        raise ConfigError(
+            f"unknown surrogate engine {engine!r}; "
+            "expected 'reference' or 'vectorized'"
+        )
     if by_value:
         return MaxValueSurrogate(config)
     return SrptSurrogate(config)

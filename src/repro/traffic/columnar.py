@@ -1,0 +1,646 @@
+"""Columnar arrival traces: CSR-style per-slot packet columns.
+
+A :class:`ColumnarTrace` stores the same arrival sequence as
+:class:`repro.traffic.trace.Trace` without one object per packet: a slot
+``offsets`` array (CSR row pointers, length ``n_slots + 1``) plus flat
+``ports`` / ``works`` / ``values`` columns, and optional ``opts`` /
+``arrivals`` columns for the rare traces that carry scripted-OPT tags or
+out-of-line arrival slots (repeated adversarial rounds). Slot ``s``'s
+burst is the column span ``offsets[s]:offsets[s + 1]``.
+
+The canonical column representation is plain Python lists — the one
+buffer type both column backends share and the fastest thing the
+ingestion loops (:meth:`repro.core.columnar.VectorizedSwitch.
+run_slot_columns`, the vectorized OPT surrogates) can index packet by
+packet. The :mod:`repro.core.columns` backend seam is used where arrays
+pay: the batched numpy sampling inside the generators below, and the
+typed int64/float64 buffers of :meth:`as_columns` that the on-disk trace
+store serializes.
+
+**Byte-identity contract.** Every ``columnar_*_workload`` generator is a
+twin of an object generator (same module layout as
+:mod:`repro.traffic.workloads` / :mod:`repro.traffic.patterns` /
+``repro.bench.saturating_workload``) and performs *the identical
+sequence of RNG calls* — same ``default_rng(seed)``, same draw order,
+sizes, and dtypes — so the produced packet stream is equal in order and
+content to its twin's, packet for packet. The twins only differ in what
+they do with the sampled numbers: the object generators construct
+:class:`~repro.core.packet.Packet` instances (the dominant cost at
+paper scale), the columnar ones extend flat columns. The contract is
+pinned three ways: the Hypothesis differential suite
+(``tests/test_trace_columnar.py``), the golden per-panel trace digests
+(``repro golden``), and the sweep-level ``cmp`` identity checks in CI.
+
+For consumers that need objects (the reference engine, observers,
+scripted-OPT replays) :meth:`ColumnarTrace.to_trace` materializes the
+packets lazily and caches the result, so replaying one trace through
+many reference systems pays materialization once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+try:  # pure-stdlib installs can still import the module
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None  # type: ignore[assignment]
+
+from repro.core.config import QueueDiscipline, SwitchConfig
+from repro.core.errors import ConfigError, TraceError
+from repro.core.packet import Packet
+from repro.traffic.trace import Trace
+from repro.traffic.workloads import (
+    DEFAULT_SOURCES,
+    _fleet,
+    processing_capacity,
+    value_capacity,
+)
+
+__all__ = [
+    "ColumnarTrace",
+    "columnar_processing_workload",
+    "columnar_value_uniform_workload",
+    "columnar_value_port_workload",
+    "columnar_poisson_workload",
+    "columnar_saturating_workload",
+]
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise ConfigError(
+            "the columnar MMPP workloads need numpy (their draws are "
+            "pinned to numpy.random.default_rng, identically to their "
+            "object twins); install numpy to use them"
+        )
+
+
+class ColumnarTrace:
+    """A trace as flat CSR columns instead of per-packet objects.
+
+    Parameters
+    ----------
+    offsets:
+        CSR row pointers: ``offsets[s]`` is the column index of slot
+        ``s``'s first packet; length ``n_slots + 1``; ``offsets[-1]``
+        is the total packet count.
+    ports / works / values:
+        One entry per packet, in arrival order.
+    opts:
+        Optional scripted-OPT tags per packet: ``-1`` for untagged
+        (``opt_accept is None``), ``0``/``1`` for tagged. ``None`` when
+        no packet is tagged (the common case).
+    arrivals:
+        Optional explicit ``arrival_slot`` per packet. ``None`` means
+        every packet's arrival slot is its own slot index (true for all
+        generated workloads; repeated adversarial rounds reuse
+        within-round slots and need the explicit column).
+    """
+
+    __slots__ = (
+        "offsets",
+        "ports",
+        "works",
+        "values",
+        "opts",
+        "arrivals",
+        "_trace",
+        "_arrays",
+    )
+
+    def __init__(
+        self,
+        offsets: List[int],
+        ports: List[int],
+        works: List[int],
+        values: List[float],
+        opts: Optional[List[int]] = None,
+        arrivals: Optional[List[int]] = None,
+    ) -> None:
+        if not offsets or offsets[0] != 0:
+            raise TraceError("offsets must start at 0")
+        total = offsets[-1]
+        if not (len(ports) == len(works) == len(values) == total):
+            raise TraceError(
+                f"column lengths {len(ports)}/{len(works)}/{len(values)} "
+                f"do not match offsets[-1]={total}"
+            )
+        for extra in (opts, arrivals):
+            if extra is not None and len(extra) != total:
+                raise TraceError(
+                    f"optional column length {len(extra)} != {total}"
+                )
+        self.offsets = offsets
+        self.ports = ports
+        self.works = works
+        self.values = values
+        self.opts = opts
+        self.arrivals = arrivals
+        self._trace: Optional[Trace] = None
+        self._arrays: Optional[Tuple[Any, Any, Any]] = None
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def total_packets(self) -> int:
+        return self.offsets[-1]
+
+    def __len__(self) -> int:
+        return self.n_slots
+
+    def slot_bounds(self, slot: int) -> Tuple[int, int]:
+        """Column span ``[lo, hi)`` of ``slot``'s burst."""
+        return self.offsets[slot], self.offsets[slot + 1]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ColumnarTrace):
+            return NotImplemented
+        return self._canonical() == other._canonical()
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("ColumnarTrace is mutable column data; unhashable")
+
+    def _canonical(
+        self,
+    ) -> Tuple[
+        List[int], List[int], List[int], List[float], List[int], List[int]
+    ]:
+        total = self.total_packets
+        opts = self.opts if self.opts is not None else [-1] * total
+        if self.arrivals is not None:
+            arrivals = self.arrivals
+        else:
+            arrivals = []
+            for slot in range(self.n_slots):
+                arrivals.extend(
+                    [slot] * (self.offsets[slot + 1] - self.offsets[slot])
+                )
+        return (
+            self.offsets,
+            self.ports,
+            self.works,
+            self.values,
+            opts,
+            arrivals,
+        )
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "ColumnarTrace":
+        """Convert an object trace; packet order and content preserved.
+
+        The ``arrivals`` column is emitted only when some packet's
+        ``arrival_slot`` differs from its slot index, and ``opts`` only
+        when some packet carries a scripted-OPT tag — so conversion
+        round-trips normalize to the compact form.
+        """
+        offsets = [0]
+        ports: List[int] = []
+        works: List[int] = []
+        values: List[float] = []
+        opts: List[int] = []
+        arrivals: List[int] = []
+        tagged = False
+        out_of_line = False
+        for slot, burst in enumerate(trace.slots):
+            for packet in burst:
+                ports.append(packet.port)
+                works.append(packet.work)
+                values.append(packet.value)
+                if packet.opt_accept is None:
+                    opts.append(-1)
+                else:
+                    tagged = True
+                    opts.append(1 if packet.opt_accept else 0)
+                arrivals.append(packet.arrival_slot)
+                if packet.arrival_slot != slot:
+                    out_of_line = True
+            offsets.append(len(ports))
+        return cls(
+            offsets,
+            ports,
+            works,
+            values,
+            opts if tagged else None,
+            arrivals if out_of_line else None,
+        )
+
+    def to_trace(self) -> Trace:
+        """Materialize (and cache) the equivalent object trace.
+
+        The cached trace is shared between callers — packets are
+        templates (the engines admit fresh copies), so sharing is safe
+        exactly as it is for any other replayed :class:`Trace`.
+        """
+        if self._trace is not None:
+            return self._trace
+        offsets = self.offsets
+        ports = self.ports
+        works = self.works
+        values = self.values
+        opts = self.opts
+        arrivals = self.arrivals
+        trace = Trace()
+        for slot in range(self.n_slots):
+            lo, hi = offsets[slot], offsets[slot + 1]
+            burst = []
+            for i in range(lo, hi):
+                opt: Optional[bool] = None
+                if opts is not None and opts[i] >= 0:
+                    opt = bool(opts[i])
+                burst.append(
+                    Packet(
+                        port=ports[i],
+                        work=works[i],
+                        value=values[i],
+                        arrival_slot=(
+                            arrivals[i] if arrivals is not None else slot
+                        ),
+                        opt_accept=opt,
+                    )
+                )
+            trace.append_slot(burst)
+        self._trace = trace
+        return trace
+
+    @property
+    def slots(self) -> List[List[Packet]]:
+        """Materialized per-slot bursts (object-engine compatibility)."""
+        return self.to_trace().slots
+
+    def packets(self) -> Iterator[Packet]:
+        """All packets in arrival order (materializes)."""
+        return self.to_trace().packets()
+
+    def array_columns(self) -> Optional[Tuple[Any, Any, Any]]:
+        """Cached ``(ports, works, values)`` as numpy arrays.
+
+        Consumers that batch whole slot spans (the vectorized OPT
+        surrogates — see their ``prefers_array_columns`` handshake in
+        :func:`repro.analysis.competitive.run_system`) want contiguous
+        int64/float64 arrays instead of the canonical lists. The
+        conversion is cached on the trace, so a trace reused across
+        sweep cells pays it once. Returns ``None`` without numpy or
+        under ``REPRO_VECTOR_BACKEND=python`` — callers fall back to
+        the list columns, which keeps the forced-python leg honest
+        end to end.
+        """
+        from repro.core.columns import numpy_module
+
+        if np is None or numpy_module() is None:
+            return None
+        cached = self._arrays
+        if cached is None:
+            cached = (
+                np.asarray(self.ports, dtype=np.int64),
+                np.asarray(self.works, dtype=np.int64),
+                np.asarray(self.values, dtype=np.float64),
+            )
+            self._arrays = cached
+        return cached
+
+    def as_columns(self) -> Dict[str, Any]:
+        """Typed int64/float64 backend columns (artifact serialization)."""
+        from repro.core import columns
+
+        out: Dict[str, Any] = {
+            "offsets": columns.int_column_from(self.offsets),
+            "ports": columns.int_column_from(self.ports),
+            "works": columns.int_column_from(self.works),
+            "values": columns.float_column_from(self.values),
+        }
+        if self.opts is not None:
+            out["opts"] = columns.int_column_from(self.opts)
+        if self.arrivals is not None:
+            out["arrivals"] = columns.int_column_from(self.arrivals)
+        return out
+
+    # ------------------------------------------------------------------
+    # Inspection / validation (Trace-compatible)
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate statistics; same keys as :meth:`Trace.stats`."""
+        total = self.total_packets
+        return {
+            "n_slots": self.n_slots,
+            "total_packets": total,
+            "mean_burst": total / self.n_slots if self.n_slots else 0.0,
+            "max_work": max(self.works) if total else 0,
+            "total_value": sum(self.values),
+        }
+
+    def per_port_counts(self, n_ports: int) -> List[int]:
+        """Arrival counts per destination port."""
+        counts = [0] * n_ports
+        for port in self.ports:
+            if port >= n_ports:
+                raise TraceError(
+                    f"packet for port {port} but n_ports={n_ports}"
+                )
+            counts[port] += 1
+        return counts
+
+    def validate_for(self, config: SwitchConfig) -> None:
+        """Raise :class:`TraceError` unless the trace fits the switch.
+
+        Same contract as :meth:`Trace.validate_for`, over columns: port
+        ranges, and the Section III per-port work requirement under the
+        FIFO discipline.
+        """
+        n_ports = config.n_ports
+        fifo = config.discipline is QueueDiscipline.FIFO
+        works = config.works if fifo else None
+        for port, work in zip(self.ports, self.works):
+            if not 0 <= port < n_ports:
+                raise TraceError(
+                    f"packet port {port} out of range 0..{n_ports - 1}"
+                )
+            if works is not None and work != works[port]:
+                raise TraceError(
+                    f"packet work {work} != w_{port}={works[port]}"
+                )
+
+
+# ----------------------------------------------------------------------
+# Columnar generator twins
+# ----------------------------------------------------------------------
+
+
+def columnar_processing_workload(
+    config: SwitchConfig,
+    n_slots: int,
+    *,
+    load: float = 2.0,
+    absolute_rate: Optional[float] = None,
+    n_sources: int = DEFAULT_SOURCES,
+    mean_on_slots: float = 20.0,
+    mean_off_slots: float = 1980.0,
+    seed: int = 0,
+) -> ColumnarTrace:
+    """Columnar twin of :func:`repro.traffic.workloads.processing_workload`.
+
+    Identical RNG call sequence (port binding, fleet construction,
+    per-slot fleet steps); emission replaces the per-packet Python loop
+    with one ``np.repeat`` per slot — ports ascending with per-port
+    multiplicities, exactly the object generator's order.
+    """
+    if n_slots < 1:
+        raise ConfigError(f"need >= 1 slot, got {n_slots}")
+    _require_numpy()
+    rng = np.random.default_rng(seed)
+    ports_of_source = rng.integers(0, config.n_ports, size=n_sources)
+    mean_per_slot = (
+        absolute_rate
+        if absolute_rate is not None
+        else load * processing_capacity(config)
+    )
+    fleet = _fleet(
+        n_sources, mean_per_slot, rng, mean_on_slots, mean_off_slots
+    )
+
+    works_arr = np.asarray(config.works, dtype=np.int64)
+    port_ix = np.arange(config.n_ports)
+    offsets = [0]
+    chunks: List[Any] = []
+    total = 0
+    for _slot in range(n_slots):
+        counts = fleet.step()
+        per_port = np.bincount(
+            ports_of_source, weights=counts, minlength=config.n_ports
+        ).astype(np.int64)
+        slot_ports = np.repeat(port_ix, per_port)
+        if slot_ports.size:
+            chunks.append(slot_ports)
+            total += int(slot_ports.size)
+        offsets.append(total)
+    if chunks:
+        all_ports = np.concatenate(chunks)
+        works_col = works_arr[all_ports]
+        ports = all_ports.tolist()
+        works = works_col.tolist()
+    else:
+        all_ports = np.empty(0, dtype=np.int64)
+        works_col = np.empty(0, dtype=np.int64)
+        ports = []
+        works = []
+    trace = ColumnarTrace(offsets, ports, works, [1.0] * total)
+    # The sampled arrays *are* the array view — donate them so
+    # array-preferring consumers skip the list -> ndarray round trip.
+    trace._arrays = (all_ports, works_col, np.ones(total))
+    return trace
+
+
+def columnar_value_uniform_workload(
+    config: SwitchConfig,
+    n_slots: int,
+    max_value: int,
+    *,
+    load: float = 2.0,
+    absolute_rate: Optional[float] = None,
+    n_sources: int = DEFAULT_SOURCES,
+    mean_on_slots: float = 20.0,
+    mean_off_slots: float = 380.0,
+    seed: int = 0,
+    port_bound_sources: bool = True,
+) -> ColumnarTrace:
+    """Columnar twin of
+    :func:`repro.traffic.workloads.value_uniform_workload`.
+
+    The per-source value draws (``port_bound_sources``) are mandated by
+    RNG-stream identity, so the per-slot source loop remains; each
+    iteration extends the columns instead of building packets.
+    """
+    if max_value < 1:
+        raise ConfigError(f"max_value must be >= 1, got {max_value}")
+    _require_numpy()
+    rng = np.random.default_rng(seed)
+    ports_of_source = rng.integers(0, config.n_ports, size=n_sources)
+    mean_per_slot = (
+        absolute_rate
+        if absolute_rate is not None
+        else load * value_capacity(config)
+    )
+    fleet = _fleet(
+        n_sources, mean_per_slot, rng, mean_on_slots, mean_off_slots
+    )
+
+    offsets = [0]
+    ports: List[int] = []
+    values: List[float] = []
+    for _slot in range(n_slots):
+        counts = fleet.step()
+        if port_bound_sources:
+            for src in np.nonzero(counts)[0]:
+                port = int(ports_of_source[src])
+                count = int(counts[src])
+                drawn = rng.integers(1, max_value + 1, size=count)
+                ports.extend([port] * count)
+                values.extend(drawn.astype(np.float64).tolist())
+        else:
+            total = int(counts.sum())
+            if total:
+                drawn_ports = rng.integers(0, config.n_ports, size=total)
+                drawn = rng.integers(1, max_value + 1, size=total)
+                ports.extend(drawn_ports.tolist())
+                values.extend(drawn.astype(np.float64).tolist())
+        offsets.append(len(ports))
+    return ColumnarTrace(offsets, ports, [1] * len(ports), values)
+
+
+def columnar_value_port_workload(
+    config: SwitchConfig,
+    n_slots: int,
+    *,
+    load: float = 2.0,
+    absolute_rate: Optional[float] = None,
+    n_sources: int = DEFAULT_SOURCES,
+    mean_on_slots: float = 20.0,
+    mean_off_slots: float = 1980.0,
+    seed: int = 0,
+    port_weights: Optional[Any] = None,
+) -> ColumnarTrace:
+    """Columnar twin of :func:`repro.traffic.workloads.value_port_workload`."""
+    _require_numpy()
+    rng = np.random.default_rng(seed)
+    if port_weights is None:
+        ports_of_source = rng.integers(0, config.n_ports, size=n_sources)
+    else:
+        weights = np.asarray(port_weights, dtype=float)
+        if weights.shape != (config.n_ports,) or weights.sum() <= 0:
+            raise ConfigError("port_weights must be positive, one per port")
+        probs = weights / weights.sum()
+        ports_of_source = rng.choice(config.n_ports, size=n_sources, p=probs)
+    mean_per_slot = (
+        absolute_rate
+        if absolute_rate is not None
+        else load * value_capacity(config)
+    )
+    fleet = _fleet(
+        n_sources, mean_per_slot, rng, mean_on_slots, mean_off_slots
+    )
+
+    values_arr = np.asarray(config.values, dtype=np.float64)
+    port_ix = np.arange(config.n_ports)
+    offsets = [0]
+    chunks: List[Any] = []
+    total = 0
+    for _slot in range(n_slots):
+        counts = fleet.step()
+        per_port = np.bincount(
+            ports_of_source, weights=counts, minlength=config.n_ports
+        ).astype(np.int64)
+        slot_ports = np.repeat(port_ix, per_port)
+        if slot_ports.size:
+            chunks.append(slot_ports)
+            total += int(slot_ports.size)
+        offsets.append(total)
+    if chunks:
+        all_ports = np.concatenate(chunks)
+        values_col = values_arr[all_ports]
+        ports = all_ports.tolist()
+        values = values_col.tolist()
+    else:
+        all_ports = np.empty(0, dtype=np.int64)
+        values_col = np.empty(0, dtype=np.float64)
+        ports = []
+        values = []
+    trace = ColumnarTrace(offsets, ports, [1] * total, values)
+    trace._arrays = (
+        all_ports,
+        np.ones(total, dtype=np.int64),
+        values_col,
+    )
+    return trace
+
+
+def columnar_poisson_workload(
+    config: SwitchConfig,
+    n_slots: int,
+    *,
+    load: float = 2.0,
+    seed: int = 0,
+) -> ColumnarTrace:
+    """Columnar twin of :func:`repro.traffic.patterns.poisson_workload`."""
+    if n_slots < 1:
+        raise ConfigError(f"need >= 1 slot, got {n_slots}")
+    _require_numpy()
+    rng = np.random.default_rng(seed)
+    per_port_rate = load * processing_capacity(config) / config.n_ports
+    works_arr = np.asarray(config.works, dtype=np.int64)
+    port_ix = np.arange(config.n_ports)
+    offsets = [0]
+    chunks: List[Any] = []
+    total = 0
+    for _slot in range(n_slots):
+        counts = rng.poisson(per_port_rate, size=config.n_ports)
+        slot_ports = np.repeat(port_ix, counts)
+        if slot_ports.size:
+            chunks.append(slot_ports)
+            total += int(slot_ports.size)
+        offsets.append(total)
+    if chunks:
+        all_ports = np.concatenate(chunks)
+        works_col = works_arr[all_ports]
+        ports = all_ports.tolist()
+        works = works_col.tolist()
+    else:
+        all_ports = np.empty(0, dtype=np.int64)
+        works_col = np.empty(0, dtype=np.int64)
+        ports = []
+        works = []
+    trace = ColumnarTrace(offsets, ports, works, [1.0] * total)
+    trace._arrays = (all_ports, works_col, np.ones(total))
+    return trace
+
+
+def columnar_saturating_workload(
+    config: SwitchConfig, n_slots: int, *, seed: int = 0
+) -> ColumnarTrace:
+    """Columnar twin of :func:`repro.bench.saturating_workload`."""
+    if n_slots < 1:
+        raise ConfigError(f"need >= 1 slot, got {n_slots}")
+    _require_numpy()
+    rng = np.random.default_rng(seed)
+    n = config.n_ports
+    per_slot = max(2, (3 * n) // 2)
+    by_value = config.discipline is QueueDiscipline.PRIORITY
+    works_arr = np.asarray(config.works, dtype=np.int64)
+    values_arr = np.asarray(config.values, dtype=np.float64)
+
+    offsets = [0]
+    port_chunks: List[Any] = []
+    value_chunks: List[Any] = []
+    total = 0
+    for _slot in range(n_slots):
+        slot_ports = rng.integers(0, n, size=per_slot)
+        port_chunks.append(slot_ports)
+        if by_value:
+            value_chunks.append(rng.integers(1, 17, size=per_slot))
+        total += per_slot
+        offsets.append(total)
+    all_ports = np.concatenate(port_chunks)
+    ports = all_ports.tolist()
+    if by_value:
+        works = [1] * total
+        works_col = np.ones(total, dtype=np.int64)
+        values_col = np.concatenate(value_chunks).astype(np.float64)
+        values = values_col.tolist()
+    else:
+        works_col = works_arr[all_ports]
+        values_col = values_arr[all_ports]
+        works = works_col.tolist()
+        values = values_col.tolist()
+    trace = ColumnarTrace(offsets, ports, works, values)
+    trace._arrays = (all_ports, works_col, values_col)
+    return trace

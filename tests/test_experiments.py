@@ -69,14 +69,14 @@ class TestPanelRunner:
         from repro.experiments.fig5 import _panel_factories
 
         spec = PANELS[4]
-        config_factory, _ = _panel_factories(spec, n_slots=10, load=3.0)
+        config_factory, _, _ = _panel_factories(spec, n_slots=10, load=3.0)
         assert config_factory(32).n_ports == 32
 
     def test_speedup_sweep_keeps_offered_rate_fixed(self):
         from repro.experiments.fig5 import _panel_factories
 
         spec = PANELS[3]
-        config_factory, trace_factory = _panel_factories(
+        config_factory, trace_factory, _ = _panel_factories(
             spec, n_slots=4000, load=3.0
         )
         light = trace_factory(config_factory(1), 1, 0)

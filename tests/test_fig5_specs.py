@@ -47,7 +47,7 @@ class TestPanelSpecs:
 
     def test_factories_build_valid_configs_for_all_sweep_values(self):
         for spec in PANELS.values():
-            config_factory, _ = _panel_factories(spec, n_slots=10, load=3.0)
+            config_factory, _, _ = _panel_factories(spec, n_slots=10, load=3.0)
             for value in spec.param_values:
                 config = config_factory(value)
                 assert config.buffer_size >= config.n_ports

@@ -1,0 +1,303 @@
+"""Differential suite: vectorized OPT surrogates vs the bisect oracle.
+
+The array-backed surrogates of :mod:`repro.opt.vectorized` must be
+*decision-identical* to the reference implementations of
+:mod:`repro.opt.surrogate` — every admit, push-out, drop (exact ties
+included), completion count, per-port split, and the float accumulation
+order of ``transmitted_value``. Hypothesis drives both through the same
+arrival streams across burst sizes straddling the ``_BATCH_MIN``
+vector-filter cutoff, congested and uncongested regimes, mid-run
+flushes, and both ingestion shapes (ndarray columns and plain lists).
+Engineered regressions pin the exact-tie eviction semantics the batch
+filter depends on: an SRPT arrival whose work *equals* the threshold
+and a MaxValue arrival whose value *equals* the threshold are both
+guaranteed drops.
+
+Delay statistics are excluded from the comparison: fast-mode
+surrogates account transmissions in aggregate (like the fast-mode
+switch engine) and do not model per-packet delay.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SwitchConfig
+from repro.core.errors import TraceError
+from repro.core.packet import Packet
+from repro.opt.surrogate import make_surrogate
+from repro.opt.vectorized import (
+    _BATCH_MIN,
+    VectorizedMaxValueSurrogate,
+    VectorizedSrptSurrogate,
+    np,
+)
+
+#: (port, work, value) triples per slot.
+Burst = List[Tuple[int, int, float]]
+
+
+def _snapshot(system) -> dict:
+    return {
+        key: value
+        for key, value in system.metrics.snapshot().items()
+        if "delay" not in key
+    }
+
+
+def _drive_pair(
+    by_value: bool,
+    config: SwitchConfig,
+    bursts: Sequence[Burst],
+    *,
+    flush_every: int = 0,
+    columns: str = "array",
+) -> None:
+    """Run reference and vectorized side by side, asserting lock-step."""
+    ref = make_surrogate(config, by_value=by_value, engine="reference")
+    vec = make_surrogate(config, by_value=by_value, engine="vectorized")
+    expected = (
+        VectorizedMaxValueSurrogate if by_value else VectorizedSrptSurrogate
+    )
+    assert isinstance(vec, expected)
+
+    ports: List[int] = []
+    works: List[int] = []
+    values: List[float] = []
+    spans = []
+    for burst in bursts:
+        lo = len(ports)
+        for port, work, value in burst:
+            ports.append(port)
+            works.append(work)
+            values.append(value)
+        spans.append((lo, len(ports)))
+    if columns == "array":
+        if np is None:
+            pytest.skip("ndarray ingestion requires numpy")
+        col_ports = np.asarray(ports, dtype=np.int64)
+        col_works = np.asarray(works, dtype=np.int64)
+        col_values = np.asarray(values, dtype=np.float64)
+    else:
+        col_ports, col_works, col_values = ports, works, values
+
+    for slot, (lo, hi) in enumerate(spans):
+        ref.run_slot(
+            [
+                Packet(
+                    port=ports[j],
+                    work=works[j],
+                    value=values[j],
+                    arrival_slot=slot,
+                )
+                for j in range(lo, hi)
+            ]
+        )
+        vec.run_slot_columns(col_ports, col_works, col_values, None, lo, hi)
+        assert vec.backlog == ref.backlog, f"backlog diverged at slot {slot}"
+        if flush_every and (slot + 1) % flush_every == 0:
+            assert vec.flush() == ref.flush()
+    assert _snapshot(vec) == _snapshot(ref)
+
+
+@st.composite
+def _cases(draw):
+    n_ports = draw(st.integers(2, 5))
+    buffer_size = n_ports + draw(st.sampled_from([0, 1, 2, 8, 40]))
+    speedup = draw(st.sampled_from([1, 1, 2]))
+    config = SwitchConfig.from_works(
+        [draw(st.integers(1, 4)) for _ in range(n_ports)],
+        buffer_size=buffer_size,
+        speedup=speedup,
+    )
+    n_slots = draw(st.integers(1, 10))
+    bursts: List[Burst] = []
+    for _ in range(n_slots):
+        size = draw(
+            st.sampled_from(
+                [0, 1, 3, _BATCH_MIN - 1, _BATCH_MIN, _BATCH_MIN + 1, 60]
+            )
+        )
+        burst = [
+            (
+                draw(st.integers(0, n_ports - 1)),
+                draw(st.integers(1, 6)),
+                # Coarse grid: exact value ties occur constantly.
+                float(draw(st.integers(1, 4))),
+            )
+            for _ in range(size)
+        ]
+        bursts.append(burst)
+    flush_every = draw(st.sampled_from([0, 0, 0, 3]))
+    return config, bursts, flush_every
+
+
+class TestDifferential:
+    @settings(max_examples=30, deadline=None)
+    @given(case=_cases())
+    def test_srpt_matches_reference(self, case):
+        config, bursts, flush_every = case
+        _drive_pair(False, config, bursts, flush_every=flush_every)
+
+    @settings(max_examples=30, deadline=None)
+    @given(case=_cases())
+    def test_maxvalue_matches_reference(self, case):
+        config, bursts, flush_every = case
+        _drive_pair(True, config, bursts, flush_every=flush_every)
+
+    @settings(max_examples=15, deadline=None)
+    @given(case=_cases())
+    def test_list_columns_match_reference(self, case):
+        config, bursts, flush_every = case
+        _drive_pair(
+            False, config, bursts, flush_every=flush_every, columns="list"
+        )
+        _drive_pair(
+            True, config, bursts, flush_every=flush_every, columns="list"
+        )
+
+
+class TestBatchCutoff:
+    """Bursts straddling the vector-filter cutoff take both paths."""
+
+    @pytest.mark.parametrize(
+        "size", [_BATCH_MIN - 1, _BATCH_MIN, _BATCH_MIN + 1, 3 * _BATCH_MIN]
+    )
+    @pytest.mark.parametrize("by_value", [False, True])
+    def test_straddling_bursts(self, size, by_value):
+        import random
+
+        rnd = random.Random(size * 2 + by_value)
+        config = SwitchConfig.from_works([1, 2, 3], buffer_size=6)
+        bursts = [
+            [
+                (rnd.randrange(3), rnd.randint(1, 5), float(rnd.randint(1, 4)))
+                for _ in range(size)
+            ]
+            for _ in range(4)
+        ]
+        _drive_pair(by_value, config, bursts)
+
+
+class TestExactTies:
+    """The monotone-threshold batch drop hinges on tie semantics."""
+
+    def test_srpt_tie_with_threshold_is_dropped(self):
+        config = SwitchConfig.from_works([5, 5], buffer_size=8)
+        # Slot 0 saturates the buffer with work-5 packets (8 accepts,
+        # 2 tie drops); slot 1 offers work == threshold (drop) and
+        # work < threshold (push-out accept).
+        bursts: List[Burst] = [
+            [(j % 2, 5, 1.0) for j in range(10)],
+            [(0, 5, 1.0), (1, 4, 1.0)],
+        ]
+        _drive_pair(False, config, bursts)
+        vec = make_surrogate(config, by_value=False, engine="vectorized")
+        ports = [j % 2 for j in range(10)] + [0, 1]
+        works = [5] * 10 + [5, 4]
+        values = [1.0] * 12
+        if np is not None:
+            ports = np.asarray(ports, dtype=np.int64)
+            works = np.asarray(works, dtype=np.int64)
+            values = np.asarray(values, dtype=np.float64)
+        vec.run_slot_columns(ports, works, values, None, 0, 10)
+        vec.run_slot_columns(ports, works, values, None, 10, 12)
+        assert vec.metrics.accepted == 9
+        assert vec.metrics.pushed_out == 1
+        assert vec.metrics.dropped == 3  # two slot-0 ties + one slot-1 tie
+
+    def test_maxvalue_tie_with_threshold_is_dropped(self):
+        config = SwitchConfig.value_contiguous(2, 8)
+        # Slot 0 fills the buffer with value-5 packets (ties dropped);
+        # two transmissions drain it to 6, so slot 1 re-saturates with
+        # two value-9 fillers, then offers value == threshold (drop)
+        # and value > threshold (push-out accept).
+        bursts: List[Burst] = [
+            [(j % 2, 1, 5.0) for j in range(10)],
+            [(0, 1, 9.0), (1, 1, 9.0), (0, 1, 5.0), (1, 1, 6.0)],
+        ]
+        _drive_pair(True, config, bursts)
+        vec = make_surrogate(config, by_value=True, engine="vectorized")
+        ports = [j % 2 for j in range(10)] + [0, 1, 0, 1]
+        works = [1] * 14
+        values = [5.0] * 10 + [9.0, 9.0, 5.0, 6.0]
+        if np is not None:
+            ports = np.asarray(ports, dtype=np.int64)
+            works = np.asarray(works, dtype=np.int64)
+            values = np.asarray(values, dtype=np.float64)
+        vec.run_slot_columns(ports, works, values, None, 0, 10)
+        vec.run_slot_columns(ports, works, values, None, 10, 14)
+        assert vec.metrics.accepted == 11
+        assert vec.metrics.pushed_out == 1
+        assert vec.metrics.dropped == 3
+
+
+class TestSurface:
+    def test_engine_seam_selects_vectorized(self):
+        config = SwitchConfig.from_works([1, 2], buffer_size=4)
+        assert isinstance(
+            make_surrogate(config, by_value=False, engine="vectorized"),
+            VectorizedSrptSurrogate,
+        )
+        assert isinstance(
+            make_surrogate(config, by_value=True, engine="vectorized"),
+            VectorizedMaxValueSurrogate,
+        )
+
+    def test_object_run_slot_matches_reference(self):
+        import random
+
+        rnd = random.Random(9)
+        config = SwitchConfig.from_works([2, 3], buffer_size=5)
+        for by_value in (False, True):
+            ref = make_surrogate(config, by_value=by_value)
+            vec = make_surrogate(
+                config, by_value=by_value, engine="vectorized"
+            )
+            for slot in range(30):
+                burst = [
+                    Packet(
+                        port=rnd.randrange(2),
+                        work=rnd.randint(1, 4),
+                        value=float(rnd.randint(1, 3)),
+                        arrival_slot=slot,
+                    )
+                    for _ in range(rnd.choice([0, 1, 4, 9]))
+                ]
+                ref.run_slot(burst)
+                vec.run_slot(burst)
+                assert vec.backlog == ref.backlog
+            assert _snapshot(vec) == _snapshot(ref)
+
+    def test_fast_forward_requires_empty_buffer(self):
+        config = SwitchConfig.from_works([3, 3], buffer_size=4)
+        vec = make_surrogate(config, by_value=False, engine="vectorized")
+        vec.run_slot(
+            [Packet(port=0, work=3, value=1.0, arrival_slot=0)]
+        )
+        with pytest.raises(TraceError):
+            vec.fast_forward(5)
+
+    def test_flush_resets_occupancy(self):
+        config = SwitchConfig.from_works([4, 4], buffer_size=4)
+        for by_value in (False, True):
+            vec = make_surrogate(
+                config, by_value=by_value, engine="vectorized"
+            )
+            # Four packets against two cores: something stays buffered
+            # after the slot's transmissions on both models.
+            vec.run_slot(
+                [
+                    Packet(
+                        port=j % 2, work=4, value=2.0 + j, arrival_slot=0
+                    )
+                    for j in range(4)
+                ]
+            )
+            assert vec.backlog > 0
+            assert vec.flush() == vec.metrics.flushed
+            assert vec.backlog == 0
