@@ -118,6 +118,10 @@ class PolicySystem:
     def fast_forward(self, n_slots: int) -> None:
         self.switch.fast_forward(n_slots)
 
+    def set_port_state(self, port: int, up: bool) -> int:
+        """Forward a churn event to the switch; returns reclaimed count."""
+        return self.switch.set_port_state(port, up)
+
     def flush(self) -> int:
         return self.switch.flush()
 
@@ -216,6 +220,19 @@ def run_system(
         check_every = 0
     fast_forward = getattr(system, "fast_forward", None)
 
+    # Port churn: events apply at the start of their slot, before that
+    # slot's arrivals, on systems that support them. ``or None``
+    # normalizes an empty mapping so static traces skip the machinery.
+    port_events = getattr(trace, "port_events", None) or None
+    set_port_state = None
+    if port_events is not None:
+        set_port_state = getattr(system, "set_port_state", None)
+        if set_port_state is None:
+            raise ConfigError(
+                f"{type(system).__name__} does not support port churn "
+                "(trace carries port_events)"
+            )
+
     run_cols = getattr(system, "run_slot_columns", None)
     if (
         isinstance(trace, ColumnarTrace)
@@ -238,11 +255,21 @@ def run_system(
         n_slots = trace.n_slots
         slot = 0
         while slot < n_slots:
+            if port_events is not None:
+                events = port_events.get(slot)
+                if events is not None:
+                    assert set_port_state is not None
+                    for event in events:
+                        set_port_state(event.port, event.up)
             lo = offsets[slot]
             hi = offsets[slot + 1]
             if lo == hi and fast_forward is not None and system.backlog == 0:
                 end = slot + 1
-                while end < n_slots and offsets[end + 1] == offsets[end]:
+                while (
+                    end < n_slots
+                    and offsets[end + 1] == offsets[end]
+                    and (port_events is None or end not in port_events)
+                ):
                     end += 1
                 fast_forward(end - slot)
                 slot = end
@@ -259,13 +286,24 @@ def run_system(
     n_slots = len(slots)
     slot = 0
     while slot < n_slots:
+        if port_events is not None:
+            events = port_events.get(slot)
+            if events is not None:
+                assert set_port_state is not None
+                for event in events:
+                    set_port_state(event.port, event.up)
         arrivals = slots[slot]
         if not arrivals and fast_forward is not None and system.backlog == 0:
             # Skip the whole idle stretch at once. Any flushouts inside
             # it would clear an empty buffer (a metrics no-op), so
-            # jumping over their boundaries changes nothing.
+            # jumping over their boundaries changes nothing; the scan
+            # stops short of the next churn-event slot.
             end = slot + 1
-            while end < n_slots and not slots[end]:
+            while (
+                end < n_slots
+                and not slots[end]
+                and (port_events is None or end not in port_events)
+            ):
                 end += 1
             fast_forward(end - slot)
             slot = end

@@ -72,18 +72,42 @@ class BenchPanel:
 
     name: str
     model: str  # "processing" | "value"
-    workload: str  # "uniform" | "mmpp" | "adversarial"
+    workload: str  # "uniform" | "mmpp" | "adversarial" | "spike" | "flap"
     n_ports: int
     buffer_size: int
     n_slots: int
     seed: int
     policies: Tuple[str, ...]
     load: float = 2.0
+    #: Per-port reserved slots; 0 keeps the paper's purely shared model.
+    reserved_per_port: int = 0
 
     def config(self) -> SwitchConfig:
+        model = None
+        if self.reserved_per_port:
+            from repro.core.config import BufferModel
+
+            model = BufferModel.split(
+                (self.reserved_per_port,) * self.n_ports,
+                self.buffer_size - self.reserved_per_port * self.n_ports,
+            )
         if self.model == "processing":
-            return SwitchConfig.contiguous(self.n_ports, self.buffer_size)
-        return SwitchConfig.value_contiguous(self.n_ports, self.buffer_size)
+            config = SwitchConfig.contiguous(
+                self.n_ports, self.buffer_size
+            )
+        else:
+            config = SwitchConfig.value_contiguous(
+                self.n_ports, self.buffer_size
+            )
+        if model is None:
+            return config
+        return SwitchConfig(
+            buffer_size=config.buffer_size,
+            ports=config.ports,
+            speedup=config.speedup,
+            discipline=config.discipline,
+            buffer_model=model,
+        )
 
     def trace(self, slots_scale: float = 1.0) -> Trace:
         n_slots = max(1, int(round(self.n_slots * slots_scale)))
@@ -108,6 +132,18 @@ class BenchPanel:
             )
         if self.workload == "adversarial":
             return saturating_workload(config, n_slots, seed=self.seed)
+        if self.workload == "spike":
+            from repro.traffic.dynamic import oversubscription_spike_workload
+
+            return oversubscription_spike_workload(
+                config, n_slots, load=self.load, seed=self.seed
+            )
+        if self.workload == "flap":
+            from repro.traffic.dynamic import port_flap_workload
+
+            return port_flap_workload(
+                config, n_slots, load=self.load, seed=self.seed
+            )
         raise ConfigError(f"unknown bench workload {self.workload!r}")
 
     def columnar_trace(self, slots_scale: float = 1.0):
@@ -148,6 +184,13 @@ class BenchPanel:
             return columnar_saturating_workload(
                 config, n_slots, seed=self.seed
             )
+        if self.workload in ("spike", "flap"):
+            # The dynamic generators are pure-python slot loops with no
+            # vectorizable inner structure; the columnar twin is the
+            # exact conversion (byte-identical by construction).
+            from repro.traffic.columnar import ColumnarTrace
+
+            return ColumnarTrace.from_trace(self.trace(slots_scale))
         raise ConfigError(f"unknown bench workload {self.workload!r}")
 
     def trace_content_key(self, slots_scale: float = 1.0) -> str:
@@ -173,6 +216,7 @@ class BenchPanel:
             "n_slots": self.n_slots,
             "seed": self.seed,
             "load": self.load,
+            "reserved_per_port": self.reserved_per_port,
             "policies": list(self.policies),
         }
 
@@ -229,6 +273,7 @@ def saturating_workload(
 
 _PROC_POLICIES = ("LQD", "LWD", "BPD")
 _VALUE_POLICIES = ("LQD-V", "MVD", "MRD")
+_DYNAMIC_POLICIES = ("LQD", "Harmonic", "DT")
 
 #: The pinned panel set. Names are stable identifiers used by reports,
 #: the CLI, and the CI regression gate.
@@ -318,6 +363,29 @@ PANELS: Dict[str, BenchPanel] = {
             n_slots=250,
             seed=14,
             policies=_VALUE_POLICIES,
+        ),
+        BenchPanel(
+            name="dynamic-flap-small",
+            model="processing",
+            workload="flap",
+            n_ports=8,
+            buffer_size=64,
+            n_slots=1500,
+            seed=15,
+            policies=_DYNAMIC_POLICIES,
+            load=0.9,
+        ),
+        BenchPanel(
+            name="dynamic-split-small",
+            model="processing",
+            workload="spike",
+            n_ports=8,
+            buffer_size=64,
+            n_slots=1500,
+            seed=16,
+            policies=_DYNAMIC_POLICIES,
+            load=0.9,
+            reserved_per_port=2,
         ),
     )
 }

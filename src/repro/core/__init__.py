@@ -1,7 +1,7 @@
 """Core model: packets, queues, configuration, and the switch engine."""
 
 from repro.core.aggregates import AggregateIndex, Ordering
-from repro.core.config import PortSpec, QueueDiscipline, SwitchConfig
+from repro.core.config import BufferModel, PortSpec, QueueDiscipline, SwitchConfig
 from repro.core.decisions import ACCEPT, DROP, Action, Decision, push_out
 from repro.core.errors import (
     ConfigError,
@@ -25,6 +25,7 @@ __all__ = [
     "DROP",
     "Action",
     "AdmissionPolicy",
+    "BufferModel",
     "Ordering",
     "ConfigError",
     "Decision",

@@ -92,7 +92,7 @@ from typing import (
 
 from repro.core import columns as _columns
 from repro.core.config import QueueDiscipline, SwitchConfig
-from repro.core.decisions import Action, Decision
+from repro.core.decisions import DROP, Action, Decision
 from repro.core.errors import PolicyError, TraceError
 from repro.core.hotpath import hot_path
 from repro.core.metrics import SwitchMetrics
@@ -191,6 +191,51 @@ class ColumnarView:
     @property
     def free_space(self) -> int:
         return self._s.config.buffer_size - self._s.occupancy
+
+    def can_accept(self, port: int) -> bool:
+        """Whether an arrival to ``port`` has a usable free slot
+        (mirrors ``SwitchView.can_accept`` exactly)."""
+        s = self._s
+        reserved = s._reserved
+        if reserved is None:
+            return s.occupancy < s._B
+        if s._lens[port] < reserved[port]:
+            return True
+        return s._shared_occupancy() < s._shared_pool + s._down_reserved
+
+    @property
+    def shared_occupancy(self) -> int:
+        s = self._s
+        if s._reserved is None:
+            return s.occupancy
+        return s._shared_occupancy()
+
+    @property
+    def shared_capacity(self) -> int:
+        s = self._s
+        if s._reserved is None:
+            return s.config.buffer_size
+        return s._shared_pool + s._down_reserved
+
+    @property
+    def shared_free(self) -> int:
+        return self.shared_capacity - self.shared_occupancy
+
+    def reserved(self, port: int) -> int:
+        reserved = self._s._reserved
+        return 0 if reserved is None else reserved[port]
+
+    def shared_queue_len(self, port: int) -> int:
+        s = self._s
+        qlen = s._lens[port]
+        reserved = s._reserved
+        if reserved is None:
+            return qlen
+        over = qlen - reserved[port]
+        return over if over > 0 else 0
+
+    def is_port_up(self, port: int) -> bool:
+        return self._s._port_up[port]
 
     @property
     def index(self) -> None:
@@ -398,6 +443,21 @@ class VectorizedSwitch:
         self._off = 0
         # BPD kernel state.
         self._nm = 0
+
+        # Buffer-model and churn state (mirrors the reference switch).
+        # ``_shared_occupancy`` is computed on demand from the length
+        # columns: split mode always classifies to the generic kernel,
+        # so no incremental accounting is threaded through the kernels.
+        model = config.buffer_model
+        if model is None or model.is_purely_shared:
+            self._reserved: Optional[Tuple[int, ...]] = None
+            self._shared_pool = config.buffer_size
+        else:
+            self._reserved = model.reserved
+            self._shared_pool = model.shared_pool
+        self._port_up: List[bool] = [True] * n
+        self._n_down = 0
+        self._down_reserved = 0
 
     # ------------------------------------------------------------------
     # Observability
@@ -614,6 +674,11 @@ class VectorizedSwitch:
         lqd, lwd, bpd, pushout, threshold = _load_policy_classes()
         self._greedy = isinstance(policy, pushout)
         self._threshold = isinstance(policy, threshold)
+        if self._reserved is not None or self._n_down:
+            # Split buffer models and active churn change admissibility
+            # per port; the specialized kernels assume the purely shared
+            # full-buffer predicate, so everything runs generically.
+            return K_GENERIC
         if not self._fast_fifo:
             return K_GENERIC
         # Exact types only: subclasses (e.g. BPD1's min-victim-length
@@ -862,6 +927,16 @@ class VectorizedSwitch:
         self.metrics.record_arrival(packet)
         self._kclean = False
         observer = self.observer
+        if self._n_down and not self._port_up[packet.port]:
+            # Engine-level drop for admin-down ports, before the policy
+            # is consulted (mirrors the reference ``offer``).
+            self.metrics.record_drop(packet)
+            if observer is not None:
+                observer.on_arrival(self.current_slot, PacketEvent.of(packet))
+                observer.on_decision(
+                    self.current_slot, Action.DROP.value, None
+                )
+            return DROP
         if observer is None:
             decision: Decision = policy.admit(self.view, packet)
             self.apply(packet, decision)
@@ -916,14 +991,104 @@ class VectorizedSwitch:
                 self.observer.on_push_out(
                     self.current_slot, PacketEvent.of(victim)
                 )
-        if self.occupancy >= self.config.buffer_size:
+        if self._reserved is None:
+            if self.occupancy >= self.config.buffer_size:
+                raise PolicyError(
+                    "policy accepted a packet into a full buffer "
+                    f"(occupancy={self.occupancy}, "
+                    f"B={self.config.buffer_size})"
+                )
+        elif not self._fits(packet.port):
             raise PolicyError(
-                "policy accepted a packet into a full buffer "
-                f"(occupancy={self.occupancy}, B={self.config.buffer_size})"
+                f"policy accepted a packet for port {packet.port} with no "
+                f"usable slot (queue={self._lens[packet.port]}, "
+                f"reserved={self._reserved[packet.port]}, "
+                f"shared={self._shared_occupancy()}/"
+                f"{self._shared_pool + self._down_reserved})"
             )
         self._admit(packet)
         self.occupancy += 1
         metrics.record_accept(packet)
+
+    def _shared_occupancy(self) -> int:
+        """Packets in shared slots, from the length columns (O(active))."""
+        reserved = self._reserved
+        assert reserved is not None
+        lens = self._lens
+        total = 0
+        for port in self._active:
+            over = lens[port] - reserved[port]
+            if over > 0:
+                total += over
+        return total
+
+    def _fits(self, port: int) -> bool:
+        """Whether an arrival to ``port`` has a usable free slot."""
+        reserved = self._reserved
+        if reserved is None:
+            return self.occupancy < self._B
+        if self._lens[port] < reserved[port]:
+            return True
+        return self._shared_occupancy() < self._shared_pool + self._down_reserved
+
+    def set_port_state(self, port: int, up: bool) -> int:
+        """Admin-up/down ``port``; returns the packets reclaimed.
+
+        Mirrors the reference engine exactly: down flushes the port's
+        queue (accounted as flushed), reclaims its reserved slots into
+        the shared pool, and engine-drops subsequent arrivals; redundant
+        transitions are trace errors. Invalidates the kernel binding —
+        churn changes per-port admissibility, so classification reruns.
+        """
+        if not 0 <= port < self.config.n_ports:
+            raise TraceError(
+                f"port-state event for port {port}, switch has "
+                f"{self.config.n_ports} ports"
+            )
+        up = bool(up)
+        if up == self._port_up[port]:
+            state = "up" if up else "down"
+            raise TraceError(
+                f"port {port} is already {state} at slot {self.current_slot}"
+            )
+        self._kpolicy = None
+        self._kclean = False
+        observer = self.observer
+        if up:
+            self._port_up[port] = True
+            self._n_down -= 1
+            if self._reserved is not None:
+                self._down_reserved -= self._reserved[port]
+            if observer is not None:
+                observer.on_port_state(self.current_slot, port, True, ())
+            return 0
+        self._port_up[port] = False
+        self._n_down += 1
+        if self._reserved is not None:
+            self._down_reserved += self._reserved[port]
+        count = self._lens[port]
+        events: Optional[Tuple[PacketEvent, ...]] = None
+        if observer is not None:
+            events = tuple(
+                PacketEvent.of(packet) for packet in self.queue_packets(port)
+            )
+        if count:
+            self._lens[port] = 0
+            self._tv[port] = 0.0
+            if self._tw is not None:
+                self._tw[port] = 0
+            if self._by_value:
+                self._vals[port].clear()
+                self._recs[port].clear()
+            else:
+                self._stores[port].clear()
+            self._deactivate(port)
+            self.occupancy -= count
+        self.metrics.flushed += count
+        if observer is not None:
+            assert events is not None
+            observer.on_port_state(self.current_slot, port, False, events)
+        return count
 
     def _pop_tail(self, port: int) -> Packet:
         """Remove the tail of ``port``'s queue; returns the victim."""
@@ -1519,10 +1684,20 @@ class VectorizedSwitch:
         view = self.view
         metrics = self.metrics
         dropped_by_port = metrics.dropped_by_port
-        greedy = self._greedy
+        simple = self._reserved is None
+        # Split models gate admissibility per port, so the greedy
+        # bulk-accept shortcut only holds on the purely shared model
+        # (churn alone is fine: down-port arrivals are filtered first).
+        greedy = self._greedy and simple
         threshold = self._threshold
+        n_down = self._n_down
+        port_up = self._port_up
         cap = self._B
         for pk in burst:
+            if n_down and not port_up[pk.port]:
+                metrics.dropped += 1
+                dropped_by_port[pk.port] += 1
+                continue
             if self.occupancy < cap:
                 if greedy:
                     self._admit(pk)
@@ -1530,6 +1705,8 @@ class VectorizedSwitch:
                     metrics.accepted += 1
                     continue
             elif threshold:
+                # Full buffer: can_accept is false for every up port
+                # under both models, so thresholds drop unconditionally.
                 metrics.dropped += 1
                 dropped_by_port[pk.port] += 1
                 continue
@@ -1554,10 +1731,16 @@ class VectorizedSwitch:
                 self.occupancy -= 1
                 metrics.pushed_out += 1
                 dropped_by_port[victim_port] += 1
-            if self.occupancy >= cap:
+            if simple:
+                if self.occupancy >= cap:
+                    raise PolicyError(
+                        "policy accepted a packet into a full buffer "
+                        f"(occupancy={self.occupancy}, B={cap})"
+                    )
+            elif not self._fits(pk.port):
                 raise PolicyError(
-                    "policy accepted a packet into a full buffer "
-                    f"(occupancy={self.occupancy}, B={cap})"
+                    f"policy accepted a packet for port {pk.port} with no "
+                    "usable slot"
                 )
             self._admit(pk)
             self.occupancy += 1
@@ -2005,12 +2188,19 @@ class VectorizedSwitch:
         view = self.view
         metrics = self.metrics
         dropped_by_port = metrics.dropped_by_port
-        greedy = self._greedy
+        simple = self._reserved is None
+        greedy = self._greedy and simple
         threshold = self._threshold
+        n_down = self._n_down
+        port_up = self._port_up
         cap = self._B
         slot = self.current_slot
         for i in range(lo, hi):
             p = ports[i]
+            if n_down and not port_up[p]:
+                metrics.dropped += 1
+                dropped_by_port[p] += 1
+                continue
             if self.occupancy < cap:
                 if greedy:
                     self._admit_cols(
@@ -2051,10 +2241,16 @@ class VectorizedSwitch:
                 self.occupancy -= 1
                 metrics.pushed_out += 1
                 dropped_by_port[victim_port] += 1
-            if self.occupancy >= cap:
+            if simple:
+                if self.occupancy >= cap:
+                    raise PolicyError(
+                        "policy accepted a packet into a full buffer "
+                        f"(occupancy={self.occupancy}, B={cap})"
+                    )
+            elif not self._fits(p):
                 raise PolicyError(
-                    "policy accepted a packet into a full buffer "
-                    f"(occupancy={self.occupancy}, B={cap})"
+                    f"policy accepted a packet for port {p} with no "
+                    "usable slot"
                 )
             self._admit_cols(p, w, v, a)
             self.occupancy += 1
@@ -2381,6 +2577,23 @@ class VectorizedSwitch:
             assert mask_list == [
                 1 if self._lens[p] > 0 else 0 for p in range(n)
             ], f"active mask {mask_list} diverged from length column"
+        # Buffer-model and churn accounting (mirrors the reference).
+        assert self._n_down == self._port_up.count(False)
+        for port, port_up in enumerate(self._port_up):
+            if not port_up:
+                assert self._lens[port] == 0, (
+                    f"admin-down port {port} has buffered packets"
+                )
+        reserved = self._reserved
+        if reserved is not None:
+            expect_down = sum(
+                r for r, port_up in zip(reserved, self._port_up) if not port_up
+            )
+            assert self._down_reserved == expect_down
+            shared = self._shared_occupancy()
+            assert shared <= self._shared_pool + self._down_reserved, (
+                f"shared occupancy {shared} exceeds usable shared slots"
+            )
         if self._kclean:
             self._check_kernel_invariants()
 

@@ -16,9 +16,77 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.core.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class BufferModel:
+    """How the shared buffer's ``B`` slots are partitioned.
+
+    The paper's model is *purely shared*: every slot is usable by every
+    output queue. Production switches (the SONiC buffer model this seam
+    mirrors) split the buffer into per-port *reserved* slots plus a
+    common *shared pool*: a packet for port ``i`` is admissible while
+    ``|Q_i|`` is below its reservation, or while the shared pool has a
+    free slot. Reserved slots of an admin-down port are *reclaimed*
+    into the shared pool for as long as the port stays down.
+
+    Parameters
+    ----------
+    reserved:
+        Per-port reserved slot counts (all zero for the purely shared
+        model).
+    shared_pool:
+        Slots in the common pool. ``sum(reserved) + shared_pool`` must
+        equal the switch's ``buffer_size``.
+    """
+
+    reserved: tuple[int, ...]
+    shared_pool: int
+
+    def __post_init__(self) -> None:
+        if not self.reserved:
+            raise ConfigError("buffer model needs at least one port")
+        for port, slots in enumerate(self.reserved):
+            if slots < 0:
+                raise ConfigError(
+                    f"reserved slots for port {port} must be >= 0, "
+                    f"got {slots}"
+                )
+        if self.shared_pool < 0:
+            raise ConfigError(
+                f"shared pool must be >= 0, got {self.shared_pool}"
+            )
+
+    @property
+    def total(self) -> int:
+        """Total slots described by the model (= ``buffer_size``)."""
+        return sum(self.reserved) + self.shared_pool
+
+    @property
+    def is_purely_shared(self) -> bool:
+        """Whether this model degenerates to the paper's shared pool."""
+        return not any(self.reserved)
+
+    @classmethod
+    def shared(cls, buffer_size: int, n_ports: int) -> "BufferModel":
+        """The paper's model: no reservations, everything shared."""
+        return cls(reserved=(0,) * n_ports, shared_pool=buffer_size)
+
+    @classmethod
+    def split(
+        cls, reserved: Sequence[int], shared_pool: int
+    ) -> "BufferModel":
+        """A reserved + shared split with explicit per-port reservations."""
+        return cls(reserved=tuple(int(r) for r in reserved),
+                   shared_pool=shared_pool)
+
+    def describe(self) -> str:
+        if self.is_purely_shared:
+            return f"shared({self.shared_pool})"
+        return f"split(reserved={self.reserved}, shared={self.shared_pool})"
 
 
 class QueueDiscipline(enum.Enum):
@@ -79,12 +147,19 @@ class SwitchConfig:
         ``min(C, |Q|)`` packets.
     discipline:
         Per-queue processing order; see :class:`QueueDiscipline`.
+    buffer_model:
+        Optional reserved + shared partition of the buffer
+        (:class:`BufferModel`). ``None`` — the default everywhere in the
+        paper's experiments — means purely shared; a split model changes
+        only *admissibility* (which arrivals have a usable slot), never
+        transmission.
     """
 
     buffer_size: int
     ports: tuple[PortSpec, ...]
     speedup: int = 1
     discipline: QueueDiscipline = QueueDiscipline.FIFO
+    buffer_model: Optional[BufferModel] = None
 
     def __post_init__(self) -> None:
         if not self.ports:
@@ -98,6 +173,20 @@ class SwitchConfig:
             raise ConfigError(f"speedup must be >= 1, got {self.speedup}")
         if not isinstance(self.discipline, QueueDiscipline):
             raise ConfigError(f"bad discipline: {self.discipline!r}")
+        model = self.buffer_model
+        if model is not None:
+            if not isinstance(model, BufferModel):
+                raise ConfigError(f"bad buffer model: {model!r}")
+            if len(model.reserved) != len(self.ports):
+                raise ConfigError(
+                    f"buffer model describes {len(model.reserved)} ports, "
+                    f"switch has {len(self.ports)}"
+                )
+            if model.total != self.buffer_size:
+                raise ConfigError(
+                    f"buffer model totals {model.total} slots, "
+                    f"buffer size is {self.buffer_size}"
+                )
 
     # ------------------------------------------------------------------
     # Derived quantities used throughout the paper's formulas.
@@ -134,6 +223,16 @@ class SwitchConfig:
         """The paper's ``Z = sum_i 1/w_i`` used by the NHST thresholds."""
         return sum(1.0 / p.work for p in self.ports)
 
+    def resolved_buffer_model(self) -> BufferModel:
+        """The effective :class:`BufferModel` (defaulting to purely shared).
+
+        Cold path: constructs a fresh default model when none was given;
+        engines resolve it once at construction time.
+        """
+        if self.buffer_model is not None:
+            return self.buffer_model
+        return BufferModel.shared(self.buffer_size, self.n_ports)
+
     def work_of(self, port: int) -> int:
         """Required work of packets destined to ``port``."""
         return self.ports[port].work
@@ -169,11 +268,14 @@ class SwitchConfig:
         work: int = 1,
         speedup: int = 1,
         discipline: QueueDiscipline = QueueDiscipline.FIFO,
+        buffer_model: Optional[BufferModel] = None,
     ) -> "SwitchConfig":
         """``n`` identical ports, each requiring ``work`` cycles.
 
         With ``work=1`` this is the classical shared-memory switch model of
         Aiello et al. that both of the paper's models generalize.
+        ``buffer_model`` optionally partitions ``B`` into per-port
+        reserved slots plus a shared pool (see :class:`BufferModel`).
         """
         ports = tuple(PortSpec(work=work) for _ in range(n_ports))
         return cls(
@@ -181,6 +283,7 @@ class SwitchConfig:
             ports=ports,
             speedup=speedup,
             discipline=discipline,
+            buffer_model=buffer_model,
         )
 
     @classmethod
@@ -242,7 +345,10 @@ class SwitchConfig:
             work_desc = f"contiguous w=1..{len(works)}"
         else:
             work_desc = f"works={works}"
+        model_desc = ""
+        if self.buffer_model is not None and not self.buffer_model.is_purely_shared:
+            model_desc = f", {self.buffer_model.describe()}"
         return (
             f"SwitchConfig(n={self.n_ports}, B={self.buffer_size}, "
-            f"C={self.speedup}, {self.discipline.value}, {work_desc})"
+            f"C={self.speedup}, {self.discipline.value}, {work_desc}{model_desc})"
         )

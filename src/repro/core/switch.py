@@ -61,7 +61,7 @@ from typing import Iterable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.core.aggregates import AggregateIndex
 from repro.core.config import QueueDiscipline, SwitchConfig
-from repro.core.decisions import Action, Decision
+from repro.core.decisions import DROP, Action, Decision
 from repro.core.errors import PolicyError, TraceError
 from repro.core.hotpath import hot_path
 from repro.core.metrics import SwitchMetrics
@@ -109,6 +109,67 @@ class SwitchView:
     @property
     def free_space(self) -> int:
         return self._switch.config.buffer_size - self._switch.occupancy
+
+    @hot_path
+    def can_accept(self, port: int) -> bool:
+        """Whether an arrival to ``port`` has a usable free slot.
+
+        On the purely shared model this is exactly ``not is_full``. Under
+        a reserved + shared :class:`~repro.core.config.BufferModel` split
+        a packet fits while its queue is below its reservation or the
+        shared pool (plus any reclaimed down-port reservations) has room.
+        """
+        switch = self._switch
+        reserved = switch._reserved
+        if reserved is None:
+            return switch.occupancy < switch.config.buffer_size
+        if len(switch.queues[port]) < reserved[port]:
+            return True
+        return switch._shared_occ < switch._shared_pool + switch._down_reserved
+
+    @property
+    def shared_occupancy(self) -> int:
+        """Packets occupying *shared* slots (== ``occupancy`` when purely
+        shared; under a split, each queue's overflow past its reservation)."""
+        switch = self._switch
+        if switch._reserved is None:
+            return switch.occupancy
+        return switch._shared_occ
+
+    @property
+    def shared_capacity(self) -> int:
+        """Usable shared slots: the pool plus reclaimed down-port
+        reservations (== ``buffer_size`` when purely shared)."""
+        switch = self._switch
+        if switch._reserved is None:
+            return switch.config.buffer_size
+        return switch._shared_pool + switch._down_reserved
+
+    @property
+    def shared_free(self) -> int:
+        """Free shared slots, ``shared_capacity - shared_occupancy``."""
+        return self.shared_capacity - self.shared_occupancy
+
+    def reserved(self, port: int) -> int:
+        """Reserved slots of ``port`` (0 on the purely shared model)."""
+        reserved = self._switch._reserved
+        return 0 if reserved is None else reserved[port]
+
+    def shared_queue_len(self, port: int) -> int:
+        """Packets of queue ``port`` occupying shared slots,
+        ``max(0, queue_len - reserved)``."""
+        switch = self._switch
+        qlen = len(switch.queues[port])
+        reserved = switch._reserved
+        if reserved is None:
+            return qlen
+        over = qlen - reserved[port]
+        return over if over > 0 else 0
+
+    def is_port_up(self, port: int) -> bool:
+        """Whether ``port`` is admin-up (arrivals to down ports are
+        dropped by the engine before the policy is consulted)."""
+        return self._switch._port_up[port]
 
     @property
     def index(self) -> Optional[AggregateIndex]:
@@ -262,6 +323,22 @@ class SharedMemorySwitch:
         self._packets_cache: List[Optional[Tuple[Packet, ...]]] = (
             [None] * config.n_ports
         )
+        # Buffer-model state. ``_reserved is None`` marks the purely
+        # shared model and keeps its hot path free of split accounting.
+        model = config.buffer_model
+        if model is None or model.is_purely_shared:
+            self._reserved: Optional[Tuple[int, ...]] = None
+            self._shared_pool = config.buffer_size
+        else:
+            self._reserved = model.reserved
+            self._shared_pool = model.shared_pool
+        self._shared_used: List[int] = [0] * config.n_ports
+        self._shared_occ = 0
+        # Port admin state (churn). All ports start up; ``_n_down`` gates
+        # the per-arrival check so static runs pay one int test.
+        self._port_up: List[bool] = [True] * config.n_ports
+        self._n_down = 0
+        self._down_reserved = 0
 
     # ------------------------------------------------------------------
     # Observability
@@ -278,7 +355,17 @@ class SharedMemorySwitch:
     @hot_path
     def _queue_changed(self, port: int) -> None:
         """Refresh acceleration state after ``queues[port]`` mutated."""
-        nonempty = len(self.queues[port]) > 0
+        qlen = len(self.queues[port])
+        reserved = self._reserved
+        if reserved is not None:
+            shared = qlen - reserved[port]
+            if shared < 0:
+                shared = 0
+            delta = shared - self._shared_used[port]
+            if delta:
+                self._shared_used[port] = shared
+                self._shared_occ += delta
+        nonempty = qlen > 0
         if nonempty != self._is_active[port]:
             self._is_active[port] = nonempty
             if nonempty:
@@ -298,6 +385,12 @@ class SharedMemorySwitch:
         self._is_active = [len(q) > 0 for q in self.queues]
         self._nonempty_cache = None
         self._packets_cache = [None] * self.config.n_ports
+        reserved = self._reserved
+        if reserved is not None:
+            self._shared_used = [
+                max(0, len(q) - r) for q, r in zip(self.queues, reserved)
+            ]
+            self._shared_occ = sum(self._shared_used)
         if self.index is not None:
             self.index.rebuild()
 
@@ -322,6 +415,17 @@ class SharedMemorySwitch:
         self._validate_arrival(packet)
         self.metrics.record_arrival(packet)
         observer = self.observer
+        if self._n_down and not self._port_up[packet.port]:
+            # Arrivals to an admin-down port are dropped by the engine
+            # before the policy sees them; the decision stream still
+            # records the drop so replays stay conservation-complete.
+            self.metrics.record_drop(packet)
+            if observer is not None:
+                observer.on_arrival(self.current_slot, PacketEvent.of(packet))
+                observer.on_decision(
+                    self.current_slot, Action.DROP.value, None
+                )
+            return DROP
         if observer is None:
             decision = policy.admit(self.view, packet)
             self.apply(packet, decision)
@@ -363,16 +467,34 @@ class SharedMemorySwitch:
                 )
             # Fall through to accept the arriving packet.
 
-        if self.occupancy >= self.config.buffer_size:
+        if self._reserved is None:
+            if self.occupancy >= self.config.buffer_size:
+                raise PolicyError(
+                    "policy accepted a packet into a full buffer "
+                    f"(occupancy={self.occupancy}, B={self.config.buffer_size})"
+                )
+        elif not self._fits(packet.port):
             raise PolicyError(
-                "policy accepted a packet into a full buffer "
-                f"(occupancy={self.occupancy}, B={self.config.buffer_size})"
+                f"policy accepted a packet for port {packet.port} with no "
+                f"usable slot (queue={len(self.queues[packet.port])}, "
+                f"reserved={self._reserved[packet.port]}, "
+                f"shared={self._shared_occ}/"
+                f"{self._shared_pool + self._down_reserved})"
             )
         admitted = packet.fresh_copy()
         self.queues[packet.port].admit(admitted)
         self.occupancy += 1
         self._queue_changed(packet.port)
         self.metrics.record_accept(admitted)
+
+    def _fits(self, port: int) -> bool:
+        """Whether an arrival to ``port`` has a usable free slot."""
+        reserved = self._reserved
+        if reserved is None:
+            return self.occupancy < self.config.buffer_size
+        if len(self.queues[port]) < reserved[port]:
+            return True
+        return self._shared_occ < self._shared_pool + self._down_reserved
 
     def _validate_arrival(self, packet: Packet) -> None:
         if not 0 <= packet.port < self.config.n_ports:
@@ -479,6 +601,60 @@ class SharedMemorySwitch:
         return len(dropped)
 
     # ------------------------------------------------------------------
+    # Port churn (admin-up/down)
+    # ------------------------------------------------------------------
+
+    def set_port_state(self, port: int, up: bool) -> int:
+        """Admin-up/down ``port``; returns the packets reclaimed.
+
+        Taking a port *down* deterministically reclaims its buffer: the
+        queue is cleared without transmission credit (the packets are
+        accounted as flushed, exactly like :meth:`flush`), subsequent
+        arrivals to the port are dropped by the engine before the policy
+        is consulted, and — under a split buffer model — the port's
+        reserved slots join the shared pool until the port comes back up.
+        Redundant transitions are trace errors: churn traces must be
+        well-formed so replays stay deterministic.
+        """
+        if not 0 <= port < self.config.n_ports:
+            raise TraceError(
+                f"port-state event for port {port}, switch has "
+                f"{self.config.n_ports} ports"
+            )
+        up = bool(up)
+        if up == self._port_up[port]:
+            state = "up" if up else "down"
+            raise TraceError(
+                f"port {port} is already {state} at slot {self.current_slot}"
+            )
+        observer = self.observer
+        if up:
+            self._port_up[port] = True
+            self._n_down -= 1
+            if self._reserved is not None:
+                self._down_reserved -= self._reserved[port]
+            if observer is not None:
+                observer.on_port_state(self.current_slot, port, True, ())
+            return 0
+        self._port_up[port] = False
+        self._n_down += 1
+        reclaimed = self.queues[port].clear()
+        if reclaimed:
+            self.occupancy -= len(reclaimed)
+            self._queue_changed(port)
+        self.metrics.record_flush(reclaimed)
+        if self._reserved is not None:
+            self._down_reserved += self._reserved[port]
+        if observer is not None:
+            observer.on_port_state(
+                self.current_slot,
+                port,
+                False,
+                tuple(PacketEvent.of(packet) for packet in reclaimed),
+            )
+        return len(reclaimed)
+
+    # ------------------------------------------------------------------
     # Diagnostics
     # ------------------------------------------------------------------
 
@@ -515,6 +691,27 @@ class SharedMemorySwitch:
             assert list(self._nonempty_cache) == expect_active
         for port, cached in enumerate(self._packets_cache):
             assert cached is None or list(cached) == list(self.queues[port])
+        # Buffer-model and churn accounting.
+        assert self._n_down == self._port_up.count(False)
+        for port, port_up in enumerate(self._port_up):
+            if not port_up:
+                assert len(self.queues[port]) == 0, (
+                    f"admin-down port {port} has buffered packets"
+                )
+        reserved = self._reserved
+        if reserved is not None:
+            expect_used = [
+                max(0, len(q) - r) for q, r in zip(self.queues, reserved)
+            ]
+            assert self._shared_used == expect_used, (
+                f"shared slot use {self._shared_used} != {expect_used}"
+            )
+            assert self._shared_occ == sum(expect_used)
+            assert self._shared_occ <= self._shared_pool + self._down_reserved
+            expect_down = sum(
+                r for r, port_up in zip(reserved, self._port_up) if not port_up
+            )
+            assert self._down_reserved == expect_down
         if self.index is not None:
             self.index.check()
 

@@ -45,7 +45,9 @@ from repro.traffic.workloads import (
 #: Trace representations a panel can generate (docs/PIPELINE.md).
 TRACE_BACKENDS = ("object", "columnar")
 
-#: Policy line-ups per traffic regime, mirroring the paper's legends.
+#: Policy line-ups per traffic regime, mirroring the paper's legends,
+#: plus the two dynamic-threshold buffer-sharing policies (Harmonic,
+#: DT) the dynamic-scenario family adds to the comparison matrix.
 PROCESSING_POLICIES: Tuple[str, ...] = (
     "NHST",
     "NEST",
@@ -54,6 +56,8 @@ PROCESSING_POLICIES: Tuple[str, ...] = (
     "BPD",
     "BPD1",
     "LWD",
+    "Harmonic",
+    "DT",
 )
 VALUE_UNIFORM_POLICIES: Tuple[str, ...] = (
     "Greedy",
@@ -63,6 +67,8 @@ VALUE_UNIFORM_POLICIES: Tuple[str, ...] = (
     "MVD",
     "MVD1",
     "MRD",
+    "Harmonic",
+    "DT",
 )
 VALUE_PORT_POLICIES: Tuple[str, ...] = (
     "Greedy",
@@ -73,6 +79,8 @@ VALUE_PORT_POLICIES: Tuple[str, ...] = (
     "MVD",
     "MVD1",
     "MRD",
+    "Harmonic",
+    "DT",
 )
 
 

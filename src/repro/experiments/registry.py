@@ -101,6 +101,11 @@ EXTRA_EXPERIMENTS = {
         "ranking robustness: the processing-model line-up across MMPP, "
         "Poisson, periodic-burst, and Pareto traffic families"
     ),
+    "dynamic": (
+        "dynamic shared-buffer scenarios: churn/oversubscription "
+        "adversaries plus the Harmonic and DT policies across spike "
+        "and port-flap workloads on both engines"
+    ),
 }
 
 
@@ -218,6 +223,17 @@ def run_experiment(
         if seeds:
             kwargs["seed"] = seeds[0]
         return run_robustness_study(**kwargs)
+    if experiment_id == "dynamic":
+        from repro.experiments.scenarios import run_dynamic_suite
+
+        kwargs = {}
+        if n_slots is not None:
+            kwargs["n_slots"] = n_slots
+        if seeds:
+            kwargs["seed"] = seeds[0]
+        if engine is not None:
+            kwargs["engines"] = (engine,)
+        return run_dynamic_suite(**kwargs)
     theorem = THEOREM_EXPERIMENTS.get(experiment_id)
     if theorem is None:
         raise ExperimentError(

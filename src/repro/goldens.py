@@ -2,9 +2,9 @@
 
 The differential suites pin the vectorized engine to the reference
 engine *relative* to each other; goldens pin both to a committed
-*absolute* fingerprint. Each of the eight ``repro.bench`` panels is run
-at a small committed scale and reduced to two sha256 digests per pinned
-policy:
+*absolute* fingerprint. Every ``repro.bench`` panel (including the
+dynamic churn/split panels) is run at a small committed scale and
+reduced to two sha256 digests per pinned policy:
 
 * ``stream_sha256`` — a canonical rendering of the full observer event
   stream (slot framing, arrivals, decisions, push-outs, transmissions,
@@ -106,6 +106,15 @@ class DecisionStreamHasher(SlotObserver):
         for event in dropped:
             self._feed(f"f {slot} {self._packet(event)}\n")
 
+    def on_port_state(
+        self, slot: int, port: int, up: bool, reclaimed: Tuple[PacketEvent, ...]
+    ) -> None:
+        # Event-free runs never reach this hook, so pre-churn digests
+        # are unaffected by its existence.
+        self._feed(f"S {slot} {port} {int(up)} {len(reclaimed)}\n")
+        for event in reclaimed:
+            self._feed(f"s {slot} {self._packet(event)}\n")
+
     def on_idle(self, slot: int, n_slots: int) -> None:
         self._feed(f"I {slot} {n_slots}\n")
 
@@ -124,10 +133,25 @@ def trace_digest(trace: object) -> str:
     pinned half of the trace contract (the Hypothesis differential
     suite is the relative half). Tokens carry slot index, port, work,
     ``repr`` of the value, arrival slot, and the scripted-OPT tag
-    canonicalized to ``-1``/``0``/``1``.
+    canonicalized to ``-1``/``0``/``1``; port churn events (when the
+    trace carries any) are digested after the packet lines, so a
+    static trace's digest is unchanged by the churn extension.
     """
     hasher = hashlib.sha256()
     feed = hasher.update
+
+    def feed_events() -> None:
+        events = getattr(trace, "port_events", None)
+        if not events:
+            return
+        for slot in sorted(events):
+            for event in events[slot]:
+                feed(
+                    f"E {slot} {event.port} {int(event.up)}\n".encode(
+                        "ascii"
+                    )
+                )
+
     offsets = getattr(trace, "offsets", None)
     if offsets is not None:
         ports = trace.ports  # type: ignore[attr-defined]
@@ -145,6 +169,7 @@ def trace_digest(trace: object) -> str:
                     f"{slot} {ports[j]},{works[j]},{values[j]!r},"
                     f"{arrival},{opt}\n".encode("ascii")
                 )
+        feed_events()
         return hasher.hexdigest()
     slots = trace.slots  # type: ignore[attr-defined]
     feed(f"slots={len(slots)}\n".encode("ascii"))
@@ -155,6 +180,7 @@ def trace_digest(trace: object) -> str:
                 f"{slot} {p.port},{p.work},{p.value!r},"
                 f"{p.arrival_slot},{opt}\n".encode("ascii")
             )
+    feed_events()
     return hasher.hexdigest()
 
 

@@ -110,6 +110,21 @@ class SlotObserver:
     ) -> None:
         """A flushout cleared the buffer; ``dropped`` earned no credit."""
 
+    def on_port_state(
+        self,
+        slot: int,
+        port: int,
+        up: bool,
+        reclaimed: Tuple[PacketEvent, ...],
+    ) -> None:
+        """``port`` changed admin state at the start of ``slot``.
+
+        On a down transition ``reclaimed`` holds the packets whose buffer
+        space was reclaimed (accounted as flushed, no transmission
+        credit); on an up transition it is empty. Fires between slots,
+        before the slot's ``on_slot_begin``.
+        """
+
     def on_idle(self, slot: int, n_slots: int) -> None:
         """``n_slots`` empty-buffer slots starting at ``slot`` were
         fast-forwarded in one step (no per-slot framing is emitted)."""

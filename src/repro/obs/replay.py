@@ -143,6 +143,7 @@ class TraceReplayer:
         pushed_by_port: List[int] = []
         flushed_by_port: List[int] = []
         dropped_arrivals_by_port: List[int] = []
+        port_up: List[bool] = []
 
         def fail(message: str) -> "ConservationError":
             return ConservationError(
@@ -172,6 +173,7 @@ class TraceReplayer:
                 pushed_by_port = [0] * n_ports
                 flushed_by_port = [0] * n_ports
                 dropped_arrivals_by_port = [0] * n_ports
+                port_up = [True] * n_ports
                 continue
 
             assert metrics is not None  # read_events guarantees a header
@@ -354,6 +356,39 @@ class TraceReplayer:
                     backlog_value[port] = 0.0
                 metrics.record_flush(range(count))
                 occupancy = 0
+                continue
+
+            if kind == "pstate":
+                if in_slot:
+                    raise fail("pstate inside a slot frame")
+                port = int(event["port"])  # type: ignore[arg-type]
+                if not 0 <= port < n_ports:
+                    raise fail(f"pstate port {port} out of range")
+                up = bool(event["up"])
+                if up == port_up[port]:
+                    state = "up" if up else "down"
+                    raise fail(f"pstate: port {port} is already {state}")
+                port_up[port] = up
+                count = int(event["count"])  # type: ignore[arg-type]
+                if up:
+                    if count != 0:
+                        raise fail(
+                            f"port-up pstate reclaims {count} packets"
+                        )
+                    continue
+                # Port-down reclaims the *whole* replayed queue: the
+                # engines flush every buffered packet for the port, so
+                # a partial count is a conservation violation.
+                if count != backlog_by_port[port]:
+                    raise fail(
+                        f"pstate reclaims {count} packets from queue "
+                        f"{port} holding {backlog_by_port[port]}"
+                    )
+                flushed_by_port[port] += count
+                backlog_by_port[port] = 0
+                backlog_value[port] = 0.0
+                occupancy -= count
+                metrics.record_flush(range(count))
                 continue
 
             if kind == "end":

@@ -4,8 +4,8 @@ A recorded run is a text file of one JSON object per line (schema
 version :data:`EVENT_SCHEMA_VERSION`; the full grammar is documented in
 ``docs/OBSERVABILITY.md``). The stream is framed per slot:
 
-``header`` → (``slot`` … events … ``slot_end`` | ``idle`` | ``flush``)*
-→ ``end``
+``header`` → (``slot`` … events … ``slot_end`` | ``idle`` | ``flush``
+| ``pstate``)* → ``end``
 
 * ``header`` carries the schema version, the switch configuration
   digest (ports, buffer size, speedup, discipline) and free-form
@@ -15,6 +15,9 @@ version :data:`EVENT_SCHEMA_VERSION`; the full grammar is documented in
 * ``idle`` records a fast-forwarded empty-buffer stretch *explicitly* —
   a trace never silently skips slots, so replay can account for every
   slot of the clock.
+* ``pstate`` (schema >= 2) records a port admin-state change applied
+  between slot frames; a down event carries the count of packets
+  deterministically reclaimed (flushed) from that port's queue.
 * ``end`` closes the stream and embeds the live
   :meth:`~repro.core.metrics.SwitchMetrics.snapshot` of the recording
   run, which is what makes every trace a self-checking artifact: the
@@ -53,7 +56,12 @@ if TYPE_CHECKING:
     from repro.traffic.trace import Trace
 
 #: Version of the JSONL event grammar; bumped on incompatible changes.
-EVENT_SCHEMA_VERSION = 1
+#: Version 2 added the ``pstate`` port-churn event; version-1 traces
+#: (which cannot contain one) remain readable.
+EVENT_SCHEMA_VERSION = 2
+
+#: Schema versions :func:`read_events` accepts.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 _Sink = Union[str, Path, IO[str]]
 
@@ -222,6 +230,19 @@ class JsonlTraceWriter(SlotObserver):
             {"t": "flush", "slot": slot, "count": len(dropped), "ports": ports}
         )
 
+    def on_port_state(
+        self, slot: int, port: int, up: bool, reclaimed: Tuple[PacketEvent, ...]
+    ) -> None:
+        self._write(
+            {
+                "t": "pstate",
+                "slot": slot,
+                "port": port,
+                "up": bool(up),
+                "count": len(reclaimed),
+            }
+        )
+
     def on_idle(self, slot: int, n_slots: int) -> None:
         self._write({"t": "idle", "slot": slot, "n": n_slots})
 
@@ -264,10 +285,10 @@ def read_events(source: _Sink) -> Iterator[Dict[str, object]]:
                     )
                 saw_header = True
                 schema = event.get("schema")
-                if schema != EVENT_SCHEMA_VERSION:
+                if schema not in SUPPORTED_SCHEMA_VERSIONS:
                     raise TraceError(
                         f"event trace has schema {schema!r}, this reader "
-                        f"supports {EVENT_SCHEMA_VERSION}"
+                        f"supports {SUPPORTED_SCHEMA_VERSIONS}"
                     )
             elif not saw_header:
                 raise TraceError(

@@ -68,6 +68,8 @@ class _SinglePQSurrogate:
         self.buffer_size = config.buffer_size
         self.metrics = SwitchMetrics(n_ports=config.n_ports)
         self._items: List[Packet] = []  # kept sorted by the variant's key
+        self._port_up: List[bool] = [True] * config.n_ports
+        self._n_down = 0
 
     @property
     def backlog(self) -> int:
@@ -80,9 +82,17 @@ class _SinglePQSurrogate:
         return dropped
 
     def run_slot(self, arrivals: Sequence[Packet]) -> List[Packet]:
-        for packet in arrivals:
-            self.metrics.record_arrival(packet)
-            self._admit(packet)
+        if self._n_down:
+            for packet in arrivals:
+                self.metrics.record_arrival(packet)
+                if not self._port_up[packet.port]:
+                    self.metrics.record_drop(packet)
+                    continue
+                self._admit(packet)
+        else:
+            for packet in arrivals:
+                self.metrics.record_arrival(packet)
+                self._admit(packet)
         done = self._transmit()
         self.metrics.record_transmissions(done)
         self.metrics.record_slot(len(self._items))
@@ -95,6 +105,36 @@ class _SinglePQSurrogate:
                 f"fast_forward with {len(self._items)} buffered packets"
             )
         self.metrics.record_idle_slots(n_slots)
+
+    def set_port_state(self, port: int, up: bool) -> int:
+        """Admin-up/down ``port``; returns the packets reclaimed.
+
+        The surrogate has no per-port queues, but packets destined to a
+        down port can never be delivered: they are removed from the
+        single priority queue and accounted as flushed — the same
+        deterministic reclaim the switch engines apply.
+        """
+        if not 0 <= port < self.config.n_ports:
+            raise TraceError(
+                f"port-state event for port {port}, switch has "
+                f"{self.config.n_ports} ports"
+            )
+        up = bool(up)
+        if up == self._port_up[port]:
+            state = "up" if up else "down"
+            raise TraceError(f"port {port} is already {state}")
+        if up:
+            self._port_up[port] = True
+            self._n_down -= 1
+            return 0
+        self._port_up[port] = False
+        self._n_down += 1
+        flushed = [p for p in self._items if p.port == port]
+        if flushed:
+            # Order-preserving removal keeps the sort key intact.
+            self._items = [p for p in self._items if p.port != port]
+            self.metrics.record_flush(flushed)
+        return len(flushed)
 
     # Variant hooks -----------------------------------------------------
 

@@ -86,6 +86,8 @@ class _ColumnSurrogate:
             raise TraceError(f"surrogate needs >= 1 core, got {self.cores}")
         self.buffer_size = config.buffer_size
         self.metrics = SwitchMetrics(n_ports=config.n_ports)
+        self._port_up: List[bool] = [True] * config.n_ports
+        self._n_down = 0
 
     @property
     def backlog(self) -> int:
@@ -101,6 +103,38 @@ class _ColumnSurrogate:
                 f"fast_forward with {self.backlog} buffered packets"
             )
         self.metrics.record_idle_slots(n_slots)
+
+    def set_port_state(self, port: int, up: bool) -> int:
+        """Admin-up/down ``port``; returns the packets reclaimed.
+
+        Mirrors :meth:`repro.opt.surrogate._SinglePQSurrogate.
+        set_port_state`: buffered packets destined to a down port are
+        removed (order-preserving, so the sort invariants survive) and
+        accounted as flushed.
+        """
+        if not 0 <= port < self.config.n_ports:
+            raise TraceError(
+                f"port-state event for port {port}, switch has "
+                f"{self.config.n_ports} ports"
+            )
+        up = bool(up)
+        if up == self._port_up[port]:
+            state = "up" if up else "down"
+            raise TraceError(f"port {port} is already {state}")
+        if up:
+            self._port_up[port] = True
+            self._n_down -= 1
+            return 0
+        self._port_up[port] = False
+        self._n_down += 1
+        removed = self._reclaim_port(port)
+        if removed:
+            self.metrics.flushed += removed
+        return removed
+
+    def _reclaim_port(self, port: int) -> int:
+        """Remove every buffered packet for ``port``; return the count."""
+        raise NotImplementedError
 
 
 class VectorizedSrptSurrogate(_ColumnSurrogate):
@@ -153,6 +187,52 @@ class VectorizedSrptSurrogate(_ColumnSurrogate):
         self._wh = 0
         self._size = 0
         return dropped
+
+    def _reclaim_port(self, port: int) -> int:
+        """Filter both pools, then restore the active/waiting boundary.
+
+        Order-preserving removal keeps each pool sorted and keeps the
+        concatenation (active residuals, then waiting) equal to the
+        reference's filtered single list. Removals can leave the active
+        pool short of ``cores`` while the waiting pool is non-empty, so
+        waiting heads re-promote exactly as after a completion — the
+        appended ticks are >= every surviving active tick.
+        """
+        act_exp = self._act_exp
+        act_rec = self._act_rec
+        keep = [
+            j
+            for j in range(self._ah, len(act_exp))
+            if act_rec[j][0] != port
+        ]
+        removed = len(act_exp) - self._ah - len(keep)
+        act_exp = [act_exp[j] for j in keep]
+        act_rec = [act_rec[j] for j in keep]
+        wait_res = self._wait_res
+        wait_rec = self._wait_rec
+        wkeep = [
+            j
+            for j in range(self._wh, len(wait_res))
+            if wait_rec[j][0] != port
+        ]
+        removed += len(wait_res) - self._wh - len(wkeep)
+        wait_res = [wait_res[j] for j in wkeep]
+        wait_rec = [wait_rec[j] for j in wkeep]
+        promote = min(self.cores - len(act_exp), len(wait_res))
+        if promote > 0:
+            tick = self._tick
+            act_exp.extend(tick + res for res in wait_res[:promote])
+            act_rec.extend(wait_rec[:promote])
+            del wait_res[:promote]
+            del wait_rec[:promote]
+        self._act_exp = act_exp
+        self._act_rec = act_rec
+        self._ah = 0
+        self._wait_res = wait_res
+        self._wait_rec = wait_rec
+        self._wh = 0
+        self._size -= removed
+        return removed
 
     @hot_path
     def _insert(self, residual: int, port: int, value: float) -> None:
@@ -286,9 +366,20 @@ class VectorizedSrptSurrogate(_ColumnSurrogate):
     def run_slot(self, arrivals: Sequence[Packet]) -> List[Packet]:
         """One slot over packet objects; returns ``[]`` (fast mode)."""
         metrics = self.metrics
-        for packet in arrivals:
-            metrics.arrived += 1
-            self._admit_fields(packet.port, packet.work, packet.value)
+        if self._n_down:
+            port_up = self._port_up
+            dbp = metrics.dropped_by_port
+            for packet in arrivals:
+                metrics.arrived += 1
+                if not port_up[packet.port]:
+                    metrics.dropped += 1
+                    dbp[packet.port] += 1
+                    continue
+                self._admit_fields(packet.port, packet.work, packet.value)
+        else:
+            for packet in arrivals:
+                metrics.arrived += 1
+                self._admit_fields(packet.port, packet.work, packet.value)
         self._transmit()
         metrics.record_slot(self.backlog)
         return []
@@ -305,6 +396,11 @@ class VectorizedSrptSurrogate(_ColumnSurrogate):
     ) -> List[Packet]:
         """One slot straight from trace columns (span ``[lo, hi)``).
 
+        While any port is down the span takes the exact per-packet
+        admit loop with the down filter in front: churn slots are rare
+        and the batch filter's full-buffer monotonicity argument does
+        not account for engine-level drops.
+
         With ndarray columns the congested case is batch-filtered.
         Once the buffer is full, the eviction threshold (the largest
         buffered residual) can only *decrease* during a slot's
@@ -320,7 +416,23 @@ class VectorizedSrptSurrogate(_ColumnSurrogate):
         metrics = self.metrics
         m = hi - lo
         metrics.arrived += m
-        if m and np is not None and isinstance(works, np.ndarray):
+        if self._n_down:
+            kp = ports[lo:hi]
+            kw = works[lo:hi]
+            kv = values[lo:hi]
+            if np is not None and isinstance(kw, np.ndarray):
+                kp = kp.tolist()
+                kw = kw.tolist()
+                kv = kv.tolist()
+            port_up = self._port_up
+            dbp = metrics.dropped_by_port
+            for port, work, value in zip(kp, kw, kv):
+                if not port_up[port]:
+                    metrics.dropped += 1
+                    dbp[port] += 1
+                    continue
+                self._admit_fields(port, work, value)
+        elif m and np is not None and isinstance(works, np.ndarray):
             # The whole slot runs on hoisted pool locals: one attribute
             # load per slot instead of several per packet.
             act_exp = self._act_exp
@@ -498,6 +610,20 @@ class VectorizedMaxValueSurrogate(_ColumnSurrogate):
         self._h = 0
         return dropped
 
+    def _reclaim_port(self, port: int) -> int:
+        """Filter the value column; order-preserving keeps it ascending."""
+        vals = self._vals
+        port_col = self._ports
+        keep = [
+            j for j in range(self._h, len(vals)) if port_col[j] != port
+        ]
+        removed = len(vals) - self._h - len(keep)
+        if removed:
+            self._vals = [vals[j] for j in keep]
+            self._ports = [port_col[j] for j in keep]
+            self._h = 0
+        return removed
+
     @hot_path
     def _admit_fields(self, port: int, value: float) -> None:
         metrics = self.metrics
@@ -548,9 +674,20 @@ class VectorizedMaxValueSurrogate(_ColumnSurrogate):
     def run_slot(self, arrivals: Sequence[Packet]) -> List[Packet]:
         """One slot over packet objects; returns ``[]`` (fast mode)."""
         metrics = self.metrics
-        for packet in arrivals:
-            metrics.arrived += 1
-            self._admit_fields(packet.port, packet.value)
+        if self._n_down:
+            port_up = self._port_up
+            dbp = metrics.dropped_by_port
+            for packet in arrivals:
+                metrics.arrived += 1
+                if not port_up[packet.port]:
+                    metrics.dropped += 1
+                    dbp[packet.port] += 1
+                    continue
+                self._admit_fields(packet.port, packet.value)
+        else:
+            for packet in arrivals:
+                metrics.arrived += 1
+                self._admit_fields(packet.port, packet.value)
         self._transmit()
         metrics.record_slot(self.backlog)
         return []
@@ -577,7 +714,22 @@ class VectorizedMaxValueSurrogate(_ColumnSurrogate):
         metrics = self.metrics
         m = hi - lo
         metrics.arrived += m
-        if m and np is not None and isinstance(values, np.ndarray):
+        if self._n_down:
+            # Churn fallback: see the SRPT twin.
+            kp = ports[lo:hi]
+            kv = values[lo:hi]
+            if np is not None and isinstance(kv, np.ndarray):
+                kp = kp.tolist()
+                kv = kv.tolist()
+            port_up = self._port_up
+            dbp = metrics.dropped_by_port
+            for port, value in zip(kp, kv):
+                if not port_up[port]:
+                    metrics.dropped += 1
+                    dbp[port] += 1
+                    continue
+                self._admit_fields(port, value)
+        elif m and np is not None and isinstance(values, np.ndarray):
             i = lo
             vals = self._vals
             port_col = self._ports

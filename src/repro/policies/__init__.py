@@ -24,6 +24,7 @@ from repro.policies.nonpushout import (
     GreedyNonPushOut,
     NHSTValue,
 )
+from repro.policies.dynamic import DynamicThreshold, Harmonic
 from repro.policies.extensions import LWD1, MRD1, NHDTW, RandomPushOut
 from repro.policies.processing import BPD, BPD1, LQD, LWD
 from repro.policies.value import MRD, MVD, MVD1, LQDValue
@@ -31,7 +32,9 @@ from repro.policies.value import MRD, MVD, MVD1, LQDValue
 __all__ = [
     "BPD",
     "BPD1",
+    "DynamicThreshold",
     "GreedyNonPushOut",
+    "Harmonic",
     "LQD",
     "LQDValue",
     "LWD",
@@ -168,6 +171,20 @@ def _register_defaults() -> None:
         RandomPushOut,
         {"processing", "value"},
         "[extension] uniformly random victim — control baseline",
+    )
+    register_policy(
+        "Harmonic",
+        Harmonic,
+        {"processing", "value"},
+        "[scenario] rank-harmonic dynamic thresholds, (2 + ln n)-"
+        "competitive for shared-buffer throughput (arXiv:2511.06514)",
+    )
+    register_policy(
+        "DT",
+        DynamicThreshold,
+        {"processing", "value"},
+        "[scenario] Choudhury-Hahne alpha dynamic threshold "
+        "(alpha=1 default; SONiC-style shared-pool admission)",
     )
 
 

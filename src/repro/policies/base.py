@@ -66,7 +66,9 @@ class PushOutPolicy(Policy):
     is_push_out = True
 
     def admit(self, view: SwitchView, packet: Packet) -> Decision:
-        if not view.is_full:
+        # can_accept == not is_full on the purely shared model; under a
+        # reserved + shared split it is the per-port admissibility test.
+        if view.can_accept(packet.port):
             return ACCEPT
         return self.congested(view, packet)
 
@@ -81,7 +83,7 @@ class ThresholdPolicy(Policy):
     is_push_out = False
 
     def admit(self, view: SwitchView, packet: Packet) -> Decision:
-        if view.is_full:
+        if not view.can_accept(packet.port):
             return DROP
         if self.within_threshold(view, packet):
             return ACCEPT

@@ -1,0 +1,103 @@
+"""Dynamic-threshold admission policies for the shared-buffer scenarios.
+
+Two policies from the dynamic shared-buffer literature, both non-push-out
+threshold policies implemented purely against the public
+:class:`~repro.core.switch.SwitchView` API (they pass ``repro check``
+RC301-303 by construction, and fall back to the vectorized engine's
+generic per-packet path because they are not exact fast-kernel types):
+
+* :class:`DynamicThreshold` — the classic alpha-threshold ("Dynamic
+  Threshold") scheme of Choudhury & Hahne: a packet for queue ``i`` is
+  admitted while ``|Q_i|`` (its shared-slot share) is below ``alpha``
+  times the *free* shared space. Self-tuning: thresholds fall as the
+  buffer fills, deliberately holding back ``~1/(1 + alpha n)`` of the
+  buffer as slack for newly active queues.
+
+* :class:`Harmonic` — the rank-based harmonic threshold policy
+  (PAPERS.md, arXiv:2511.06514): a queue whose length ranks ``r``-th
+  largest may hold up to ``B / (r * H_n)`` packets. The policy is
+  ``(2 + ln n)``-competitive against the optimal offline shared-buffer
+  schedule; ``tests/test_harmonic_competitive.py`` pins the empirical
+  ratio under that bound across seeded and adversarial workloads.
+
+Both policies read only *shared-slot* quantities (``shared_queue_len``,
+``shared_free``, ``shared_capacity``), so under a reserved + shared
+:class:`~repro.core.config.BufferModel` split they govern the shared
+pool while reservations stay unconditionally admissible — exactly the
+SONiC buffer-model semantics. On the purely shared model the shared
+quantities degenerate to plain queue lengths and free space.
+"""
+
+from __future__ import annotations
+
+from repro._math import harmonic_number
+from repro.core.errors import ConfigError
+from repro.core.packet import Packet
+from repro.core.switch import SwitchView
+from repro.policies.base import ThresholdPolicy
+
+
+class DynamicThreshold(ThresholdPolicy):
+    """Alpha dynamic-threshold admission (Choudhury & Hahne).
+
+    Accept a packet for queue ``i`` iff
+
+    ``shared_queue_len(i) < alpha * shared_free``
+
+    evaluated *before* the packet is placed. ``alpha`` trades utilization
+    against fairness: large alpha approaches greedy sharing, small alpha
+    approaches complete partitioning.
+    """
+
+    name = "DT"
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if not alpha > 0:
+            raise ConfigError(f"DT needs alpha > 0, got {alpha}")
+        self.alpha = float(alpha)
+
+    def within_threshold(self, view: SwitchView, packet: Packet) -> bool:
+        return view.shared_queue_len(packet.port) < (
+            self.alpha * view.shared_free
+        )
+
+    def describe(self) -> str:
+        return f"DT(alpha={self.alpha:g}) (non-push-out, dynamic threshold)"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DynamicThreshold(alpha={self.alpha!r})"
+
+
+class Harmonic(ThresholdPolicy):
+    """Rank-based harmonic thresholds, ``(2 + ln n)``-competitive.
+
+    Order the queues by (shared) length, longest first. The queue holding
+    the ``r``-th longest backlog may grow while
+
+    ``(len + 1) * r * H_n <= shared_capacity``
+
+    i.e. queue lengths are capped by the harmonic envelope
+    ``B / (r * H_n)``, whose total over all ranks is exactly ``B``. The
+    rank of the arriving packet's queue is computed against current
+    lengths (ties resolve in the arrival's favour: only strictly longer
+    queues outrank it), so the check is deterministic and engine-
+    independent — both engines evaluate the same integers and one float
+    product.
+    """
+
+    name = "Harmonic"
+
+    def within_threshold(self, view: SwitchView, packet: Packet) -> bool:
+        own = view.shared_queue_len(packet.port)
+        # Rank r = 1 + number of strictly longer queues. Empty queues
+        # never outrank (own >= 0), so scanning the non-empty ports is
+        # exact and costs O(active), not O(n).
+        rank = 1
+        for port in view.nonempty_ports():
+            if port != packet.port and view.shared_queue_len(port) > own:
+                rank += 1
+        h_n = harmonic_number(view.n_ports)
+        return (own + 1) * rank * h_n <= view.shared_capacity
+
+    def describe(self) -> str:
+        return "Harmonic (non-push-out, rank-harmonic thresholds)"

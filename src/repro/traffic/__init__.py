@@ -12,6 +12,13 @@ from repro.traffic.adversarial import (
     thm10_mvd,
     thm11_mrd,
 )
+from repro.traffic.dynamic import (
+    DYNAMIC_SCENARIOS,
+    lqd_churn_collapse,
+    lqd_oversubscription_squeeze,
+    oversubscription_spike_workload,
+    port_flap_workload,
+)
 from repro.traffic.mmpp import MmppFleet, MmppParams, MmppSource
 from repro.traffic.patterns import (
     heavy_tailed_workload,
@@ -38,15 +45,20 @@ __all__ = [
     "ALL_SCENARIOS",
     "AdversarialScenario",
     "DEFAULT_SOURCES",
+    "DYNAMIC_SCENARIOS",
     "MmppFleet",
     "MmppParams",
     "MmppSource",
     "Trace",
     "burst",
     "heavy_tailed_workload",
+    "lqd_churn_collapse",
+    "lqd_oversubscription_squeeze",
     "mixed_trace",
+    "oversubscription_spike_workload",
     "periodic_burst_workload",
     "poisson_workload",
+    "port_flap_workload",
     "processing_capacity",
     "processing_workload",
     "stream_processing_workload",

@@ -49,7 +49,7 @@ except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
 from repro.core.config import QueueDiscipline, SwitchConfig
 from repro.core.errors import ConfigError, TraceError
 from repro.core.packet import Packet
-from repro.traffic.trace import Trace
+from repro.traffic.trace import PortStateEvent, Trace
 from repro.traffic.workloads import (
     DEFAULT_SOURCES,
     _fleet,
@@ -96,6 +96,10 @@ class ColumnarTrace:
         every packet's arrival slot is its own slot index (true for all
         generated workloads; repeated adversarial rounds reuse
         within-round slots and need the explicit column).
+    port_events:
+        Optional port churn, same shape as :attr:`Trace.port_events`
+        (slot -> ordered :class:`PortStateEvent` list). Empty for the
+        static traces all generators emit.
     """
 
     __slots__ = (
@@ -105,6 +109,7 @@ class ColumnarTrace:
         "values",
         "opts",
         "arrivals",
+        "port_events",
         "_trace",
         "_arrays",
     )
@@ -117,6 +122,7 @@ class ColumnarTrace:
         values: List[float],
         opts: Optional[List[int]] = None,
         arrivals: Optional[List[int]] = None,
+        port_events: Optional[Dict[int, List[PortStateEvent]]] = None,
     ) -> None:
         if not offsets or offsets[0] != 0:
             raise TraceError("offsets must start at 0")
@@ -137,6 +143,9 @@ class ColumnarTrace:
         self.values = values
         self.opts = opts
         self.arrivals = arrivals
+        self.port_events: Dict[int, List[PortStateEvent]] = (
+            port_events if port_events is not None else {}
+        )
         self._trace: Optional[Trace] = None
         self._arrays: Optional[Tuple[Any, Any, Any]] = None
 
@@ -189,6 +198,7 @@ class ColumnarTrace:
             self.values,
             opts,
             arrivals,
+            self.port_events,
         )
 
     # ------------------------------------------------------------------
@@ -233,6 +243,11 @@ class ColumnarTrace:
             values,
             opts if tagged else None,
             arrivals if out_of_line else None,
+            (
+                {s: list(ev) for s, ev in trace.port_events.items()}
+                if trace.port_events
+                else None
+            ),
         )
 
     def to_trace(self) -> Trace:
@@ -270,6 +285,8 @@ class ColumnarTrace:
                     )
                 )
             trace.append_slot(burst)
+        for slot, events in self.port_events.items():
+            trace.port_events[slot] = list(events)
         self._trace = trace
         return trace
 
@@ -370,6 +387,18 @@ class ColumnarTrace:
                 raise TraceError(
                     f"packet work {work} != w_{port}={works[port]}"
                 )
+        for slot, events in self.port_events.items():
+            if not 0 <= slot < self.n_slots:
+                raise TraceError(
+                    f"port event at slot {slot} outside trace of "
+                    f"{self.n_slots} slots"
+                )
+            for event in events:
+                if not 0 <= event.port < n_ports:
+                    raise TraceError(
+                        f"port event for port {event.port} out of range "
+                        f"0..{n_ports - 1}"
+                    )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,318 @@
+"""Dynamic shared-buffer adversaries: port churn and oversubscription.
+
+The paper's lower-bound constructions (:mod:`repro.traffic.adversarial`)
+assume a static switch: every output port stays admin-up for the whole
+run. Operationally (SONiC-style maintenance, link flaps) ports go down
+mid-run, and a down port's queue is reclaimed without credit. This module
+builds the dynamic counterparts:
+
+* :func:`lqd_churn_collapse` — a two-port construction showing that
+  LQD's static-case guarantee (1.5-competitive, arXiv:1207.1141; at
+  least sqrt(2) in the worst case) does **not** survive port churn. LQD
+  equalizes a doomed port's queue to ``B/2``; the clairvoyant OPT banks
+  only what the port can still transmit before it is torn down and
+  spends the rest of the buffer on the surviving port. The measured
+  ratio is exactly ``2B / (B + 2T)`` (``T`` = slots before teardown),
+  i.e. ``-> 2`` as ``T -> 0`` — churn degrades LQD to the trivial
+  push-out bound.
+
+* :func:`lqd_oversubscription_squeeze` — the static squeeze: a parked
+  inventory burst bleeds out to oversubscribed rate-``r`` streams. LQD's
+  equalization *protects* the victim at the shared watermark, capping
+  the damage at ``(m+1)^2 / (m^2+m+1) -> 4/3``; the scenario documents
+  that cap (and, by contrast, why the churn construction above needs the
+  teardown to get past it).
+
+* :func:`oversubscription_spike_workload` / :func:`port_flap_workload` —
+  stochastic workload builders (deterministic per seed) for sweeps: load
+  spikes that oversubscribe a rotating port subset, and periodic
+  admin-down/up flapping with background traffic.
+
+The scenario builders return :class:`~repro.traffic.adversarial
+.AdversarialScenario` records replayed by
+:func:`~repro.analysis.competitive.run_scenario` against the scripted
+clairvoyant OPT, exactly like the paper's theorem constructions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import SwitchConfig
+from repro.core.errors import ConfigError
+from repro.core.packet import Packet
+from repro.traffic.adversarial import AdversarialScenario
+from repro.traffic.trace import Trace, burst
+
+__all__ = [
+    "DYNAMIC_SCENARIOS",
+    "lqd_churn_collapse",
+    "lqd_oversubscription_squeeze",
+    "oversubscription_spike_workload",
+    "port_flap_workload",
+]
+
+
+def lqd_churn_collapse(
+    buffer_size: int = 240,
+    down_slot: int = 30,
+    rounds: int = 1,
+) -> AdversarialScenario:
+    """LQD vs a port that is torn down ``down_slot`` slots into the run.
+
+    Construction (one round, ``B = buffer_size``, ``T = down_slot``):
+
+    * Slot 0 — ``B - T`` packets arrive for port 1, then ``B`` packets
+      for port 0. LQD admits port 1's burst whole, fills the remaining
+      space with port 0's, and equalizes the rest of port 0's burst
+      against port 1 by push-out: both queues end at ``B/2``.
+    * Slot ``T`` — port 0 goes admin-down. LQD forfeits the
+      ``B/2 - T`` packets it still holds there; OPT, which banked
+      exactly ``T`` packets on the doomed port (its ``opt_accept``
+      tags) and ``B - T`` on port 1, forfeits nothing.
+    * The run ends at slot ``B - T``, when OPT's port-1 queue drains.
+
+    Totals: ALG transmits ``T + B/2``, OPT transmits ``B``; the measured
+    ratio is exactly ``2B / (B + 2T)``. The defaults give 1.6 — above
+    the static model's 1.5 upper bound (arXiv:1207.1141), which is the
+    point: the guarantee does not survive churn.
+
+    ``rounds`` repeats the construction (port 0 comes back up at each
+    round boundary); both buffers are empty at the boundary, so the
+    per-round accounting — and the ratio — are unchanged.
+    """
+    b = buffer_size
+    t_down = down_slot
+    if b % 2 != 0:
+        raise ConfigError(f"churn collapse needs even B, got {b}")
+    if not 0 < t_down < b // 2:
+        raise ConfigError(
+            f"down_slot must be in 1..B/2-1 (got {t_down}, B={b}); "
+            "later teardowns leave LQD nothing to forfeit"
+        )
+    if rounds < 1:
+        raise ConfigError(f"rounds must be >= 1, got {rounds}")
+    config = SwitchConfig.uniform(2, b)
+    period = b - t_down
+
+    trace = Trace()
+    for rnd in range(rounds):
+        start = rnd * period
+        while trace.n_slots < start:
+            trace.append_slot()
+        slot0 = list(burst(start, 1, b - t_down, opt_accept_first=b - t_down))
+        slot0.extend(burst(start, 0, b, opt_accept_first=t_down))
+        trace.append_slot(slot0)
+        if rnd > 0:
+            trace.add_port_event(start, 0, True)
+        trace.add_port_event(start + t_down, 0, False)
+    trace = trace.padded(rounds * period - trace.n_slots)
+
+    predicted = 2.0 * b / (b + 2.0 * t_down)
+    return AdversarialScenario(
+        name=f"lqd-churn-B{b}-T{t_down}",
+        theorem="Churn collapse (dynamic extension)",
+        target_policy="LQD",
+        config=config,
+        trace=trace,
+        predicted_ratio=predicted,
+        by_value=False,
+        notes=(
+            f"port 0 torn down at slot {t_down}; static LQD is "
+            "1.5-competitive (arXiv:1207.1141) but the ratio here is "
+            f"{predicted:.3f} -> 2 as the teardown moves earlier"
+        ),
+    )
+
+
+def lqd_oversubscription_squeeze(
+    buffer_size: int = 480,
+    streams: int = 1,
+    rate: int = 16,
+    horizon: Optional[int] = None,
+) -> AdversarialScenario:
+    """Parked inventory vs oversubscribed streams — the static squeeze.
+
+    Port 0 receives a one-shot burst of ``B``; ports ``1..m`` each carry
+    a rate-``r`` stream for the whole horizon. While the buffer is full,
+    each accepted stream packet pushes out one of port 0's, so LQD
+    bleeds the inventory down to the equalization watermark and then
+    *defends* it there — every queue transmits continuously, and the
+    loss is only the stream backlog stranded at the horizon. That
+    protection caps this family at ``(m+1)^2 / (m^2+m+1)`` (4/3 for
+    ``m = 1``), strictly below LQD's sqrt(2) static lower bound; pushing
+    past it needs either packet-size spread (Theorem 4's construction)
+    or churn (:func:`lqd_churn_collapse`).
+
+    OPT banks ``B - m`` inventory packets and paces one stream packet
+    per port per slot; the horizon defaults to ``B - m`` so OPT's
+    inventory drains exactly at the end.
+    """
+    b = buffer_size
+    m = streams
+    if m < 1:
+        raise ConfigError(f"squeeze needs >= 1 stream port, got {m}")
+    if rate < 2:
+        raise ConfigError(
+            f"stream rate must oversubscribe (>= 2), got {rate}"
+        )
+    if b <= 4 * (m + 1):
+        raise ConfigError(f"B={b} too small for {m} streams")
+    h = b - m if horizon is None else horizon
+    if h < 1:
+        raise ConfigError(f"horizon must be positive, got {h}")
+    config = SwitchConfig.uniform(m + 1, b)
+
+    trace = Trace()
+    slot0 = list(burst(0, 0, b, opt_accept_first=b - m))
+    for port in range(1, m + 1):
+        slot0.extend(burst(0, port, rate, opt_accept_first=1))
+    trace.append_slot(slot0)
+    for slot in range(1, h):
+        arrivals: List[Packet] = []
+        for port in range(1, m + 1):
+            arrivals.extend(burst(slot, port, rate, opt_accept_first=1))
+        trace.append_slot(arrivals)
+
+    predicted = (m + 1) ** 2 / (m * m + m + 1)
+    return AdversarialScenario(
+        name=f"lqd-squeeze-B{b}-m{m}-r{rate}",
+        theorem="Equalization cap (static squeeze)",
+        target_policy="LQD",
+        config=config,
+        trace=trace,
+        predicted_ratio=predicted,
+        by_value=False,
+        notes=(
+            f"{m} stream(s) at rate {rate}; equalization protects the "
+            f"inventory at the watermark, capping the family at "
+            f"{predicted:.3f} (< sqrt(2))"
+        ),
+    )
+
+
+def oversubscription_spike_workload(
+    config: SwitchConfig,
+    n_slots: int,
+    *,
+    load: float = 0.6,
+    spike_period: int = 40,
+    spike_len: int = 4,
+    spike_ports: int = 2,
+    spike_rate: int = 8,
+    seed: int = 0,
+) -> Trace:
+    """Background load plus periodic spikes oversubscribing a port subset.
+
+    Every ``spike_period`` slots, a rotating window of ``spike_ports``
+    consecutive ports receives ``spike_rate`` packets per slot for
+    ``spike_len`` slots — far above the one-packet-per-slot drain rate —
+    on top of Bernoulli background traffic at ``load`` of aggregate
+    capacity. Deterministic for a given ``seed``.
+    """
+    if n_slots < 1:
+        raise ConfigError(f"n_slots must be positive, got {n_slots}")
+    if not 0 <= load <= 1.5:
+        raise ConfigError(f"implausible load {load}")
+    if spike_period < 1 or spike_len < 1 or spike_rate < 1:
+        raise ConfigError("spike parameters must be positive")
+    n = config.n_ports
+    ports = max(1, min(spike_ports, n))
+    rng = random.Random(seed)
+    per_slot = load * n / max(1, n)  # Bernoulli p per port per slot
+    trace = Trace()
+    for slot in range(n_slots):
+        arrivals: List[Packet] = []
+        for port in range(n):
+            if rng.random() < per_slot:
+                arrivals.append(
+                    Packet(
+                        port=port,
+                        work=config.work_of(port),
+                        value=1.0,
+                        arrival_slot=slot,
+                    )
+                )
+        cycle, phase = divmod(slot, spike_period)
+        if phase < spike_len:
+            base = (cycle * ports) % n
+            for off in range(ports):
+                port = (base + off) % n
+                arrivals.extend(
+                    burst(
+                        slot,
+                        port,
+                        spike_rate,
+                        work=config.work_of(port),
+                    )
+                )
+        trace.append_slot(arrivals)
+    return trace
+
+
+def port_flap_workload(
+    config: SwitchConfig,
+    n_slots: int,
+    *,
+    load: float = 0.6,
+    flap_period: int = 50,
+    down_time: int = 10,
+    flap_ports: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> Trace:
+    """Background traffic with ports flapping admin-down/up in rotation.
+
+    Every ``flap_period`` slots the next port in ``flap_ports`` (all
+    ports by default) goes down for ``down_time`` slots, then comes back
+    up. Arrivals keep flowing to down ports (the engines drop them — the
+    operational case of traffic racing a maintenance window), and every
+    down event reclaims whatever the policy had queued there. The final
+    flap is scheduled only if its up event still lands inside the trace,
+    so a replayed run always ends with every port up.
+    """
+    if n_slots < 1:
+        raise ConfigError(f"n_slots must be positive, got {n_slots}")
+    if flap_period < 2 or not 0 < down_time < flap_period:
+        raise ConfigError(
+            f"need 0 < down_time < flap_period (got {down_time}, "
+            f"{flap_period})"
+        )
+    n = config.n_ports
+    targets = list(flap_ports) if flap_ports is not None else list(range(n))
+    for port in targets:
+        if not 0 <= port < n:
+            raise ConfigError(f"flap port {port} out of range 0..{n - 1}")
+    if not targets:
+        raise ConfigError("flap_ports must not be empty")
+    rng = random.Random(seed)
+    trace = Trace()
+    for slot in range(n_slots):
+        arrivals: List[Packet] = []
+        for port in range(n):
+            if rng.random() < load:
+                arrivals.append(
+                    Packet(
+                        port=port,
+                        work=config.work_of(port),
+                        value=1.0,
+                        arrival_slot=slot,
+                    )
+                )
+        trace.append_slot(arrivals)
+    flap = 0
+    for start in range(flap_period, n_slots, flap_period):
+        if start + down_time >= n_slots:
+            break
+        port = targets[flap % len(targets)]
+        trace.add_port_event(start, port, False)
+        trace.add_port_event(start + down_time, port, True)
+        flap += 1
+    return trace
+
+
+#: Dynamic scenario builders keyed by label, for experiment registries.
+DYNAMIC_SCENARIOS: Dict[str, object] = {
+    "churn": lqd_churn_collapse,
+    "squeeze": lqd_oversubscription_squeeze,
+}

@@ -23,11 +23,32 @@ from repro.core.errors import TraceError
 from repro.core.packet import Packet
 
 
+@dataclass(frozen=True, slots=True)
+class PortStateEvent:
+    """A mid-run port admin-state change (churn).
+
+    Applied by the run loop at the *start* of its slot, before that
+    slot's arrivals: a down event deterministically reclaims the port's
+    buffered packets (accounted as flushed), an up event restores
+    admissibility. Events within one slot apply in list order.
+    """
+
+    port: int
+    up: bool
+
+
 @dataclass
 class Trace:
-    """A sequence of per-slot arrival bursts."""
+    """A sequence of per-slot arrival bursts.
+
+    ``port_events`` optionally carries port churn: a mapping from slot
+    index to the :class:`PortStateEvent` list applied at that slot's
+    start. Static traces (the common case) leave it empty, and every
+    consumer treats an absent/empty mapping as "no churn".
+    """
 
     slots: List[List[Packet]] = field(default_factory=list)
+    port_events: Dict[int, List[PortStateEvent]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Construction
@@ -43,10 +64,22 @@ class Trace:
             self.slots.append([])
         self.slots[slot].append(packet)
 
+    def add_port_event(self, slot: int, port: int, up: bool) -> None:
+        """Record a churn event at ``slot``, growing the trace as needed."""
+        while len(self.slots) <= slot:
+            self.slots.append([])
+        self.port_events.setdefault(slot, []).append(
+            PortStateEvent(port=port, up=up)
+        )
+
     def extend(self, other: "Trace") -> None:
-        """Append another trace's slots after this one's."""
+        """Append another trace's slots (and churn events) after this
+        one's; the other trace's event slots shift accordingly."""
+        offset = len(self.slots)
         for packets in other.slots:
             self.slots.append(list(packets))
+        for slot, events in other.port_events.items():
+            self.port_events.setdefault(offset + slot, []).extend(events)
 
     def repeated(self, times: int) -> "Trace":
         """A new trace consisting of this one repeated ``times`` times.
@@ -64,7 +97,10 @@ class Trace:
 
     def padded(self, extra_slots: int) -> "Trace":
         """A new trace with ``extra_slots`` empty slots appended (drain)."""
-        result = Trace([list(p) for p in self.slots])
+        result = Trace(
+            [list(p) for p in self.slots],
+            {slot: list(events) for slot, events in self.port_events.items()},
+        )
         for _ in range(extra_slots):
             result.append_slot()
         return result
@@ -137,6 +173,18 @@ class Trace:
                         f"packet work {packet.work} != w_{packet.port}="
                         f"{config.work_of(packet.port)}"
                     )
+        for slot, events in self.port_events.items():
+            if not 0 <= slot < len(self.slots):
+                raise TraceError(
+                    f"port event at slot {slot} outside trace of "
+                    f"{len(self.slots)} slots"
+                )
+            for event in events:
+                if not 0 <= event.port < config.n_ports:
+                    raise TraceError(
+                        f"port event for port {event.port} out of range "
+                        f"0..{config.n_ports - 1}"
+                    )
 
     # ------------------------------------------------------------------
     # Serialization (JSON lines, one slot per line)
@@ -169,6 +217,22 @@ class Trace:
                 for p in burst
             ]
             rows.append(json.dumps(row))
+        if self.port_events:
+            # Churn rides as one trailing JSON *object* line; slot lines
+            # are arrays, so the loader distinguishes them by type.
+            # Static traces keep the original format byte-for-byte.
+            rows.append(
+                json.dumps(
+                    {
+                        "port_events": {
+                            str(slot): [[e.port, e.up] for e in events]
+                            for slot, events in sorted(
+                                self.port_events.items()
+                            )
+                        }
+                    }
+                )
+            )
         atomic_write_text(path, "\n".join(rows) + "\n" if rows else "")
 
     @classmethod
@@ -185,6 +249,13 @@ class Trace:
                     row = json.loads(line)
                 except json.JSONDecodeError as exc:
                     raise TraceError(f"bad trace line {slot}: {exc}") from exc
+                if isinstance(row, dict):
+                    for slot_key, events in row.get(
+                        "port_events", {}
+                    ).items():
+                        for port, up in events:
+                            trace.add_port_event(int(slot_key), port, bool(up))
+                    continue
                 burst = [
                     Packet(
                         port=item["port"],

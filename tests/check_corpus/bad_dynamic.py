@@ -1,0 +1,58 @@
+# repro: module=repro.policies.bad_dynamic
+"""Known-bad dynamic-threshold policy: cheats the buffer-model seam.
+
+Fixture data for ``tests/test_check_rules.py`` — parsed, never
+imported. ``ThresholdCheater`` implements the alpha-threshold admission
+rule by reading the engine's private buffer-model bookkeeping and
+flushing queues itself instead of returning decisions — exactly the
+shortcuts the RC3xx pack exists to reject. ``HonestThreshold`` is the
+negative space: the same admission rule written against the public
+SwitchView surface, the way Harmonic and DT actually do it.
+"""
+
+
+class ThresholdCheater:
+    """Alpha-threshold admission via engine internals."""
+
+    name = "DT-CHEAT"
+
+    def __init__(self, alpha):
+        self._alpha = alpha  # private on self: fine
+
+    def decide(self, view, packet):
+        shared_used = view._shared_used  # RC301
+        reserved = view._model._reserved  # RC301 x2 (chain + root)
+        threshold = self._alpha * (view.buffer_size - shared_used)
+        if view.queue_length(packet.port) >= threshold:
+            packet.work = 0  # RC302
+            view.flush(packet.port)  # RC303
+        view._n_down += 1  # RC301 + RC302
+        return reserved
+
+    def teardown(self, switch, port):
+        switch.transmission_phase()  # RC303
+
+
+# -- negative space: the honest version must stay clean ----------------
+
+
+class HonestThreshold:
+    """The same rule against the public SwitchView surface."""
+
+    name = "DT-OK"
+
+    def __init__(self, alpha):
+        self._alpha = alpha
+
+    def decide(self, view, packet):
+        free = view.buffer_size - view.occupancy
+        if view.queue_length(packet.port) < self._alpha * free:
+            self._note(packet)  # mutator-named method on self: fine
+            return "ACCEPT"
+        return None
+
+    def _note(self, packet):
+        return packet.port
+
+    def process(self, value):  # engine-mutator *name* on self: fine
+        return value

@@ -27,6 +27,7 @@ class TestPanels:
             "mmpp-proc-small", "mmpp-proc-large",
             "adversarial-proc-small", "adversarial-proc-large",
             "adversarial-value-small", "adversarial-value-large",
+            "dynamic-flap-small", "dynamic-split-small",
         }
 
     def test_selectors(self):

@@ -115,7 +115,7 @@ class TestGoldenCorpus:
         assert report.suppressed == golden["suppressed"] == 1
 
     def test_files_scanned(self, golden, report):
-        assert report.files_scanned == golden["files_scanned"] == 6
+        assert report.files_scanned == golden["files_scanned"] == 7
 
 
 # ----------------------------------------------------------------------
@@ -780,6 +780,17 @@ class TestHead:
     def test_src_tree_is_clean(self):
         report = run_check([REPO / "src"])
         assert report.clean, report.format_human()
+
+    def test_dynamic_policies_pass_policy_api_pack(self):
+        # The dynamic-scenario policies (Harmonic, DT) are written
+        # against the public SwitchView surface — clean by construction
+        # under the RC3xx pack, with zero suppressions.
+        report = run_check(
+            [REPO / "src" / "repro" / "policies" / "dynamic.py"],
+            rules=["RC301", "RC302", "RC303"],
+        )
+        assert report.clean, report.format_human()
+        assert report.suppressed == 0
 
     def test_src_tree_has_justified_suppressions(self):
         # The hand-rolled atomic writers carry exactly four justified

@@ -25,8 +25,8 @@ class TestRegistry:
     def test_list_experiments_covers_all_families(self):
         ids = list_experiments()
         assert "fig5-1" in ids and "thm6" in ids and "skew" in ids
-        assert "arch" in ids and "robust" in ids
-        assert len(ids) == 20
+        assert "arch" in ids and "robust" in ids and "dynamic" in ids
+        assert len(ids) == 21
 
     def test_describe(self):
         assert "processing" in describe_experiment("fig5-1")

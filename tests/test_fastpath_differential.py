@@ -371,3 +371,150 @@ def test_lqd_arrival_queue_wins_tie_and_drops():
     d_vec = vec.offer(arrival, policies[2])
     assert d_fast == d_naive == d_vec
     assert d_fast.victim_port is None
+
+
+# ----------------------------------------------------------------------
+# Dynamic scenarios: churn events, reserved/shared splits, alpha
+# admission — the same lock-step contract under the buffer-model seam
+# ----------------------------------------------------------------------
+
+
+from repro.core.config import BufferModel  # noqa: E402
+from repro.policies.dynamic import DynamicThreshold, Harmonic  # noqa: E402
+
+
+def _drive_dynamic(
+    policy_factory: Callable[[], object],
+    config: SwitchConfig,
+    slot_bursts: Sequence[Sequence[Packet]],
+    events_by_slot: Sequence[Sequence[Tuple[int, bool]]],
+) -> Tuple[SharedMemorySwitch, SharedMemorySwitch, VectorizedSwitch,
+           VectorizedSwitch]:
+    """Lock-step drive with mid-run ``set_port_state`` churn.
+
+    Port events apply at slot start on all four instances, and the
+    reclaim counts must agree — a down event flushes the same queue on
+    every engine or the buffer accounting has already diverged.
+    """
+    fast = SharedMemorySwitch(config, fast_path=True)
+    naive = SharedMemorySwitch(config, fast_path=False)
+    vec = VectorizedSwitch(config)
+    batch = VectorizedSwitch(config)
+    fast_policy = policy_factory()
+    naive_policy = policy_factory()
+    vec_policy = policy_factory()
+    batch_policy = policy_factory()
+    for slot, burst in enumerate(slot_bursts):
+        for port, up in events_by_slot[slot]:
+            r_fast = fast.set_port_state(port, up)
+            r_naive = naive.set_port_state(port, up)
+            r_vec = vec.set_port_state(port, up)
+            r_batch = batch.set_port_state(port, up)
+            assert r_fast == r_naive == r_vec == r_batch, (
+                f"reclaim mismatch at slot {slot} port {port}: "
+                f"{r_fast}/{r_naive}/{r_vec}/{r_batch}"
+            )
+        for packet in burst:
+            d_fast = fast.offer(packet, fast_policy)
+            d_naive = naive.offer(packet, naive_policy)
+            d_vec = vec.offer(packet, vec_policy)
+            assert d_fast == d_naive == d_vec, (
+                f"dynamic diverged at slot {slot} on {packet}: "
+                f"fast={d_fast}, naive={d_naive}, vectorized={d_vec}"
+            )
+        fast.transmission_phase()
+        naive.transmission_phase()
+        vec.transmission_phase()
+        for system in (fast, naive, vec):
+            system.metrics.record_slot(system.occupancy)
+            system.current_slot += 1
+        batch.run_slot(burst, batch_policy)
+    return fast, naive, vec, batch
+
+
+@st.composite
+def dynamic_scenario(draw):
+    n = draw(st.integers(min_value=2, max_value=4))
+    buffer_size = draw(st.integers(min_value=max(n, 4), max_value=3 * n + 4))
+    n_slots = draw(st.integers(min_value=2, max_value=8))
+    bursts = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=0,
+                max_size=2 * buffer_size,
+            ),
+            min_size=n_slots,
+            max_size=n_slots,
+        )
+    )
+    # Reserved/shared split: None keeps the purely shared model; the
+    # split variants reserve 1 slot per port (even) or front-load the
+    # reservations onto port 0 (uneven).
+    split = draw(st.sampled_from([None, "even", "uneven"]))
+    # Churn plan: per slot, up to two valid toggles (validity is
+    # tracked, so redundant-transition errors cannot occur).
+    toggles = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=0,
+                max_size=2,
+            ),
+            min_size=n_slots,
+            max_size=n_slots,
+        )
+    )
+    return n, buffer_size, bursts, split, toggles
+
+
+def _dynamic_config(n: int, buffer_size: int, split) -> SwitchConfig:
+    if split is None:
+        model = None
+    elif split == "even":
+        model = BufferModel.split((1,) * n, buffer_size - n)
+    else:
+        model = BufferModel.split(
+            (2,) + (0,) * (n - 1), buffer_size - 2
+        )
+    return SwitchConfig.uniform(n, buffer_size, buffer_model=model)
+
+
+def _dynamic_events(n, toggles):
+    port_up = [True] * n
+    events_by_slot = []
+    for slot_toggles in toggles:
+        events = []
+        for port in slot_toggles:
+            port_up[port] = not port_up[port]
+            events.append((port, port_up[port]))
+        events_by_slot.append(events)
+    return events_by_slot
+
+
+DYNAMIC_FACTORIES = [
+    ("LQD", lambda: make_policy("LQD")),
+    ("Harmonic", Harmonic),
+    ("DT-0.5", lambda: DynamicThreshold(alpha=0.5)),
+    ("DT-1", lambda: DynamicThreshold(alpha=1.0)),
+    ("DT-2", lambda: DynamicThreshold(alpha=2.0)),
+]
+
+
+@pytest.mark.parametrize(
+    "factory", [f for _, f in DYNAMIC_FACTORIES],
+    ids=[name for name, _ in DYNAMIC_FACTORIES],
+)
+@settings(max_examples=25, deadline=None)
+@given(scenario=dynamic_scenario())
+def test_dynamic_policies_decision_identical(factory, scenario):
+    n, buffer_size, bursts, split, toggles = scenario
+    config = _dynamic_config(n, buffer_size, split)
+    slot_bursts = [
+        [Packet(port=p, work=1, arrival_slot=slot) for p in burst]
+        for slot, burst in enumerate(bursts)
+    ]
+    fast, naive, vec, batch = _drive_dynamic(
+        factory, config, slot_bursts, _dynamic_events(n, toggles)
+    )
+    _assert_same_outcome(fast, naive, vec, batch)
