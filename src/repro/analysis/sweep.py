@@ -47,6 +47,7 @@ import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -56,6 +57,11 @@ from typing import (
     Sequence,
     Tuple,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.farm.coordinator import FarmOptions
+    from repro.farm.jobs import FarmJob
+    from repro.farm.ledger import FarmStats
 
 from repro.analysis.cache import SweepCache
 from repro.analysis.competitive import (
@@ -121,6 +127,11 @@ class SweepStats:
     #: pool rebuilds, journal-resumed cells, ...). All zero on a clean
     #: run.
     resilience: ResilienceStats = field(default_factory=ResilienceStats)
+    #: The farm ledger when the sweep ran distributed (``None`` on
+    #: purely local runs): leases issued/reissued/expired, heartbeats
+    #: missed, duplicates verified, fallback cells, per-worker stage
+    #: seconds. See :class:`repro.farm.ledger.FarmStats`.
+    farm: Optional["FarmStats"] = None
 
     @property
     def cells_per_second(self) -> float:
@@ -164,6 +175,8 @@ class SweepStats:
                 text += f"; dominant: {ranked[0][0]}"
         if self.resilience.any():
             text += f"; resilience: {self.resilience.summary()}"
+        if self.farm is not None and self.farm.any():
+            text += f"; farm: {self.farm.summary()}"
         return text
 
 
@@ -592,6 +605,8 @@ def run_sweep(
     engine: str = "reference",
     trace_store: Optional[TraceStore] = None,
     trace_key: Optional[TraceKeyFn] = None,
+    farm: Optional["FarmOptions"] = None,
+    farm_job: Optional["FarmJob"] = None,
 ) -> SweepResult:
     """Measure every policy at every parameter value over every seed.
 
@@ -655,6 +670,15 @@ def run_sweep(
         change any cell's arrivals, only skip regenerating them —
         output is byte-identical with reuse on or off, serial or
         parallel.
+    farm / farm_job:
+        Distributed execution (:mod:`repro.farm`). ``farm`` carries the
+        coordinator knobs (worker count, lease TTL, heartbeat cadence,
+        reissue budget); ``farm_job`` is the declarative recipe remote
+        workers use to rebuild this sweep's cell function — required
+        because the factories here may be unpicklable closures. Cells
+        the farm cannot finish degrade to the local pool → serial
+        chain. Like every other execution knob, farming never changes
+        output bytes; the farm ledger lands on ``stats.farm``.
     """
     if not param_values:
         raise ConfigError("sweep needs at least one parameter value")
@@ -668,6 +692,11 @@ def run_sweep(
         raise ConfigError(
             "caching a sweep requires a cache_token describing the "
             "workload (see repro.analysis.cache)"
+        )
+    if farm is not None and farm_job is None:
+        raise ConfigError(
+            "farm execution needs a farm_job describing how workers "
+            "rebuild the cell context (see repro.farm.jobs)"
         )
     n_jobs = resolve_jobs(jobs)
     injector = (
@@ -715,24 +744,25 @@ def run_sweep(
     stage_registry = CounterRegistry()
     res_stats = ResilienceStats()
 
+    # The identity pins everything that determines cell results;
+    # resuming against a journal from a different sweep raises, and
+    # farm workers receive it so their journals merge with ours.
+    identity = {
+        "name": name,
+        "param_name": param_name,
+        "param_values": [float(v) for v in param_values],
+        "seeds": [int(s) for s in seeds],
+        "policies": list(policy_names),
+        "by_value": by_value,
+        "flush_every": flush_every,
+        "drain": bool(drain),
+        "cache_token": (
+            dict(cache_token) if cache_token is not None else None
+        ),
+    }
     journal_open = False
     try:
         if journal is not None:
-            # The identity pins everything that determines cell results;
-            # resuming against a journal from a different sweep raises.
-            identity = {
-                "name": name,
-                "param_name": param_name,
-                "param_values": [float(v) for v in param_values],
-                "seeds": [int(s) for s in seeds],
-                "policies": list(policy_names),
-                "by_value": by_value,
-                "flush_every": flush_every,
-                "drain": bool(drain),
-                "cache_token": (
-                    dict(cache_token) if cache_token is not None else None
-                ),
-            }
             journal.open(identity)
             journal_open = True
             remaining: List[_CellPlan] = []
@@ -827,9 +857,7 @@ def run_sweep(
                 cell_index=index, attempt=attempt, in_worker=False,
             )
 
-        executor = SupervisedExecutor(
-            _run_cell_in_worker,
-            local_fn,
+        supervisor_kwargs: Dict[str, Any] = dict(
             n_jobs=n_jobs,
             mp_context=mp_context,
             options=resilience,
@@ -842,6 +870,26 @@ def run_sweep(
             ),
             injector=injector,
         )
+        farm_stats: Optional["FarmStats"] = None
+        if farm is not None:
+            from repro.farm.executor import FarmExecutor
+            from repro.farm.ledger import FarmStats as _FarmStats
+
+            farm_stats = _FarmStats()
+            executor: SupervisedExecutor = FarmExecutor(
+                _run_cell_in_worker,
+                local_fn,
+                farm_options=farm,
+                farm_job=farm_job,
+                farm_stats=farm_stats,
+                sweep_identity=identity,
+                experiment=name,
+                **supervisor_kwargs,
+            )
+        else:
+            executor = SupervisedExecutor(
+                _run_cell_in_worker, local_fn, **supervisor_kwargs
+            )
 
         failures: List = []
         if tasks:
@@ -873,6 +921,8 @@ def run_sweep(
             result.points.append(point)
 
     res_stats.merge_into(stage_registry)
+    if farm_stats is not None:
+        farm_stats.merge_into(stage_registry)
     result.stats = SweepStats(
         cells_total=len(plans),
         cells_executed=len(to_run),
@@ -884,6 +934,7 @@ def run_sweep(
         jobs=n_jobs,
         stage_seconds=stage_registry.stage_seconds(),
         resilience=res_stats,
+        farm=farm_stats,
     )
     if failures:
         preview = "; ".join(str(failure) for failure in failures[:3])

@@ -21,7 +21,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.farm.coordinator import FarmOptions
 
 from repro.analysis.cache import SweepCache
 from repro.analysis.sweep import ProgressCallback, SweepResult, run_sweep
@@ -395,6 +405,7 @@ def run_panel(
     trace_backend: str = "object",
     trace_reuse: bool = False,
     trace_store: Optional[TraceStore] = None,
+    farm: Optional["FarmOptions"] = None,
 ) -> SweepResult:
     """Execute one Fig. 5 panel and return its sweep result.
 
@@ -417,6 +428,12 @@ def run_panel(
     ``trace_store`` to share one store — and its artifacts — across
     panels): none of the three changes a single output byte, so none
     is part of cache keys or journal identity (docs/PIPELINE.md).
+    ``farm`` distributes the panel's cells over socket workers
+    (:mod:`repro.farm`): the panel builds its own
+    :class:`~repro.farm.jobs.FarmJob` — the declarative twin of the
+    closures below — so remote workers rebuild bit-identical cell
+    functions, and a shared ``cache``/``cache_dir`` doubles as the
+    farm's artifact store.
     """
     spec = PANELS.get(panel)
     if spec is None:
@@ -443,6 +460,24 @@ def run_panel(
             f"panel {panel} has no parameter values {sorted(unknown)}; "
             f"grid is {spec.param_values}"
         )
+    farm_job = None
+    if farm is not None:
+        from repro.farm.jobs import FarmJob
+
+        farm_job = FarmJob(
+            kind="fig5",
+            spec={
+                "panel": int(panel),
+                "n_slots": int(n_slots),
+                "load": float(load),
+                "flush_every": flush_every,
+                "engine": engine,
+                "trace_backend": trace_backend,
+                "cache_dir": (
+                    str(cache.root) if cache is not None else None
+                ),
+            },
+        )
     return run_sweep(
         name=spec.experiment_id,
         param_name=spec.param_name,
@@ -467,4 +502,6 @@ def run_panel(
         engine=engine,
         trace_store=trace_store if trace_reuse else None,
         trace_key=trace_key if trace_reuse else None,
+        farm=farm,
+        farm_job=farm_job,
     )

@@ -151,6 +151,7 @@ def run_experiment(
     engine: Optional[str] = None,
     trace_backend: Optional[str] = None,
     trace_reuse: Optional[bool] = None,
+    farm=None,
 ):
     """Run an experiment by id.
 
@@ -166,8 +167,17 @@ def run_experiment(
     ``trace_backend`` the MMPP generator family (``"object"``/
     ``"columnar"``; byte-identical streams), and ``trace_reuse``
     enables cross-cell trace reuse — all three execution-only knobs
-    (docs/PIPELINE.md), Fig. 5 panels only.
+    (docs/PIPELINE.md), Fig. 5 panels only. ``farm`` (a
+    :class:`repro.farm.FarmOptions`) distributes Fig. 5 cells over the
+    socket farm (docs/FARM.md) — also execution-only: farmed output is
+    byte-identical to local output by contract.
     """
+    if farm is not None and not experiment_id.startswith("fig5-"):
+        raise ExperimentError(
+            f"--farm applies to Fig. 5 panels only, not "
+            f"{experiment_id!r} (theorem replays and studies are "
+            f"single deterministic traces)"
+        )
     if experiment_id.startswith("fig5-"):
         panel = _panel_number(experiment_id)
         kwargs = {}
@@ -193,6 +203,8 @@ def run_experiment(
             kwargs["trace_backend"] = trace_backend
         if trace_reuse is not None:
             kwargs["trace_reuse"] = trace_reuse
+        if farm is not None:
+            kwargs["farm"] = farm
         return run_panel(panel, **kwargs)
     if experiment_id == "skew":
         from repro.experiments.skewed import run_skew_sweep

@@ -13,7 +13,10 @@ from __future__ import annotations
 import io
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.farm.coordinator import FarmOptions
 
 from repro.analysis.cache import SweepCache
 from repro.analysis.competitive import run_scenario
@@ -36,7 +39,9 @@ class ReportOptions:
     stopped. ``engine``, ``trace_backend``, and ``trace_reuse`` pick
     the simulation engine, MMPP generator family, and cross-cell trace
     reuse (one store shared across panels) — see docs/PIPELINE.md.
-    None of these changes a single output byte of the tables.
+    ``farm`` (a :class:`repro.farm.FarmOptions`) distributes panel
+    cells over the socket farm (docs/FARM.md). None of these changes a
+    single output byte of the tables.
     """
 
     n_slots: int = 1000
@@ -50,6 +55,7 @@ class ReportOptions:
     engine: str = "reference"
     trace_backend: str = "object"
     trace_reuse: bool = False
+    farm: Optional["FarmOptions"] = None
 
 
 def generate_report(options: Optional[ReportOptions] = None) -> str:
@@ -106,6 +112,7 @@ def generate_report(options: Optional[ReportOptions] = None) -> str:
                 trace_backend=options.trace_backend,
                 trace_reuse=options.trace_reuse,
                 trace_store=trace_store,
+                farm=options.farm,
             )
             panel_stats.append((panel, result.stats))
             out.write(f"### Panel ({panel}): {spec.title}\n\n")
@@ -154,6 +161,18 @@ def generate_report(options: Optional[ReportOptions] = None) -> str:
             out.write(
                 f"Resilience: {totals.summary()} across "
                 f"{len(panel_stats)} panels (see docs/RESILIENCE.md).\n\n"
+            )
+        # Same treatment for the farm ledger when panels ran farmed.
+        from repro.farm.ledger import FarmStats
+
+        farm_totals = FarmStats()
+        for _, stats in panel_stats:
+            if stats.farm is not None:
+                farm_totals.merge_from(stats.farm)
+        if farm_totals.any():
+            out.write(
+                f"Farm: {farm_totals.summary()} across "
+                f"{len(panel_stats)} panels (see docs/FARM.md).\n\n"
             )
 
     if options.include_extensions:

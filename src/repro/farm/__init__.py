@@ -1,0 +1,50 @@
+"""Fault-tolerant distributed sweep farm.
+
+Paper-scale sweeps are embarrassingly parallel over (value, seed)
+cells; this package grows the single-host supervised executor into a
+multi-host farm with the *same byte-identity contract*: a sweep that
+absorbs worker crashes, hangs, disconnects, and partitions produces
+output byte-identical to a clean serial run. See ``docs/FARM.md`` for
+the operator's view and the failure matrix.
+
+* :mod:`repro.farm.protocol` — the JSONL-over-TCP wire grammar and the
+  deterministic result digest;
+* :mod:`repro.farm.jobs` — declarative job specs workers use to
+  rebuild the exact cell function (:class:`FarmJob`);
+* :mod:`repro.farm.coordinator` — lease issue/expiry/reissue,
+  heartbeat tracking, duplicate-digest verification
+  (:class:`FarmCoordinator`, :class:`FarmOptions`);
+* :mod:`repro.farm.worker` — the socket worker and local fleet
+  spawning (:class:`FarmWorker`, :func:`spawn_local_workers`);
+* :mod:`repro.farm.executor` — the :class:`FarmExecutor` that plugs
+  the farm into ``run_sweep`` ahead of the pool → serial chain;
+* :mod:`repro.farm.ledger` — the :class:`FarmStats` counters surfaced
+  through SweepStats, the report table, and ``repro farm status``;
+* :mod:`repro.farm.merge` — canonical journal merging with duplicate
+  equality checks (:func:`merge_run_journals`).
+"""
+
+from repro.farm.coordinator import FarmCoordinator, FarmOptions
+from repro.farm.executor import FarmExecutor
+from repro.farm.jobs import FarmJob, build_cell_runner, register_job_kind
+from repro.farm.ledger import FarmStats
+from repro.farm.merge import merge_run_journals
+from repro.farm.worker import (
+    FarmWorker,
+    reap_workers,
+    spawn_local_workers,
+)
+
+__all__ = [
+    "FarmCoordinator",
+    "FarmExecutor",
+    "FarmJob",
+    "FarmOptions",
+    "FarmStats",
+    "FarmWorker",
+    "build_cell_runner",
+    "merge_run_journals",
+    "reap_workers",
+    "register_job_kind",
+    "spawn_local_workers",
+]

@@ -1,0 +1,109 @@
+"""The farm executor: SupervisedExecutor with a farm round up front.
+
+:class:`FarmExecutor` is the farm's hook into
+:func:`repro.analysis.sweep.run_sweep` — it subclasses
+:class:`~repro.resilience.supervisor.SupervisedExecutor` and overrides
+the ``_execute`` seam: cells first go to the socket farm, and whatever
+the farm cannot finish (no workers joined, reissue budgets exhausted,
+backoffs pending at farm teardown) falls through to the inherited
+pool → serial chain. Completion and failure bookkeeping are *shared*
+with the local paths (``_complete`` / ``_record_failure``), so
+validation, cache/journal flushing, retry charging, quarantine, and
+injected interrupts behave identically wherever a cell runs — which is
+what keeps farm output byte-identical to serial output.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.farm.coordinator import FarmCoordinator, FarmOptions
+from repro.farm.jobs import FarmJob
+from repro.farm.ledger import FarmStats
+from repro.farm.worker import reap_workers, spawn_local_workers
+from repro.resilience.supervisor import (
+    CellFailure,
+    CellTask,
+    SupervisedExecutor,
+)
+
+
+class FarmExecutor(SupervisedExecutor):
+    """Supervised execution with a distributed farm as the first tier.
+
+    Accepts everything :class:`SupervisedExecutor` does, plus the farm
+    job (the declarative cell-context recipe workers rebuild from),
+    the farm options, the farm ledger, and the sweep identity (handed
+    to workers so their per-worker journals merge with the
+    coordinator's).
+    """
+
+    def __init__(
+        self,
+        *args: Any,
+        farm_options: FarmOptions,
+        farm_job: FarmJob,
+        farm_stats: Optional[FarmStats] = None,
+        sweep_identity: Optional[Mapping[str, Any]] = None,
+        experiment: str = "",
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self._farm_options = farm_options
+        self._farm_job = farm_job
+        self.farm_stats = (
+            farm_stats if farm_stats is not None else FarmStats()
+        )
+        self._sweep_identity = sweep_identity
+        self._experiment = experiment
+
+    def _execute(
+        self,
+        queue: List[CellTask],
+        results: Dict[Any, Any],
+        failures: List[CellFailure],
+    ) -> None:
+        if queue:
+            leftover = self._farm_round(queue, results, failures)
+            queue[:] = leftover
+        if queue:
+            self.farm_stats.fallback_cells += len(queue)
+            super()._execute(queue, results, failures)
+
+    def _farm_round(
+        self,
+        queue: List[CellTask],
+        results: Dict[Any, Any],
+        failures: List[CellFailure],
+    ) -> List[CellTask]:
+        options = self._farm_options
+        coordinator = FarmCoordinator(
+            self._farm_job,
+            identity=self._sweep_identity,
+            options=options,
+            stats=self.farm_stats,
+            experiment=self._experiment,
+        )
+        procs: List[subprocess.Popen] = []
+        try:
+            host, port = coordinator.endpoint
+            if options.workers > 0:
+                fault_spec = (
+                    self._injector.spec
+                    if self._injector is not None
+                    else None
+                )
+                procs = spawn_local_workers(
+                    host,
+                    port,
+                    options.workers,
+                    fault_spec=fault_spec,
+                    journal_dir=options.worker_journal_dir,
+                )
+            tasks = list(queue)
+            queue.clear()
+            return coordinator.run(tasks, self, results, failures)
+        finally:
+            coordinator.close()
+            reap_workers(procs)

@@ -1,0 +1,104 @@
+"""Merging per-worker run journals into one canonical journal.
+
+Every farm participant may keep its own :class:`RunJournal` — the
+coordinator's (via ``repro run --journal``) records delivered results
+in arrival order; each worker's (via ``repro farm work --journal``)
+records the cells it computed locally. All of them share the sweep's
+identity header, and every journal line for a given ``(value, seed)``
+must contain the same points — that is the determinism contract.
+
+``merge_run_journals`` verifies exactly that while folding any number
+of journal streams into the *canonical projection* defined by
+:func:`repro.resilience.journal.canonical_journal_lines`: header
+first, cells sorted by ``(value, seed)``, wall-clock stage timings
+excluded. Two merged journals for the same sweep are byte-identical
+regardless of which workers computed what, in which order, with which
+faults — which is what lets the chaos wall (and CI's farm-smoke job)
+``cmp`` a chaotic farm run against a clean serial one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.errors import FarmError, ResilienceError
+from repro.resilience.atomic import atomic_write_text
+from repro.resilience.journal import (
+    CellKey,
+    canonical_journal_digest,
+    canonical_journal_lines,
+    read_journal,
+)
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def merge_run_journals(
+    paths: Sequence[Path | str],
+    out: Optional[Path | str] = None,
+) -> Dict[str, Any]:
+    """Merge journals into one canonical journal; verify determinism.
+
+    All inputs must carry the same sweep identity (merging different
+    sweeps raises :class:`ResilienceError`). Cells appearing in more
+    than one journal — reissued leases land in two workers' journals
+    by design — must agree on their points byte-for-byte; divergence
+    raises :class:`FarmError`. When ``out`` is given the canonical
+    projection is written there atomically.
+
+    Returns a report: ``cells``, ``duplicates`` (cross-journal
+    re-recordings that passed the equality check), ``sources``,
+    ``digest`` (sha256 of the canonical projection), and ``out``.
+    """
+    if not paths:
+        raise ResilienceError("merge needs at least one journal")
+    identity: Optional[Dict[str, Any]] = None
+    identity_source: Optional[Path] = None
+    merged: Dict[CellKey, Dict[str, Any]] = {}
+    duplicates = 0
+    for raw in paths:
+        path = Path(raw)
+        this_identity, entries = read_journal(path)
+        if identity is None:
+            identity = this_identity
+            identity_source = path
+        elif _canonical(this_identity) != _canonical(identity):
+            raise ResilienceError(
+                f"journal {path} belongs to a different sweep than "
+                f"{identity_source}; refusing to merge"
+            )
+        for key, entry in entries.items():
+            previous = merged.get(key)
+            if previous is None:
+                merged[key] = entry
+                continue
+            if _canonical(entry["points"]) != _canonical(
+                previous["points"]
+            ):
+                value, seed = key
+                raise FarmError(
+                    f"determinism violation: cell (value={value:g}, "
+                    f"seed={seed}) disagrees between journals "
+                    f"(last: {path}); duplicate recordings of one "
+                    f"cell must be byte-identical"
+                )
+            duplicates += 1
+    assert identity is not None
+    digest = canonical_journal_digest(identity, merged)
+    out_path: Optional[Path] = None
+    if out is not None:
+        out_path = Path(out)
+        lines: List[str] = canonical_journal_lines(identity, merged)
+        atomic_write_text(out_path, "\n".join(lines) + "\n")
+    return {
+        "identity": identity,
+        "cells": len(merged),
+        "duplicates": duplicates,
+        "sources": [str(Path(p)) for p in paths],
+        "digest": digest,
+        "out": str(out_path) if out_path is not None else None,
+    }

@@ -1,0 +1,253 @@
+"""Wire protocol of the sweep farm: length-unframed JSONL over TCP.
+
+One JSON object per ``\\n``-terminated line, UTF-8, in both directions.
+The grammar is deliberately tiny — six message types — because every
+hard guarantee (digest-equal duplicates, bounded reissue, canonical
+merge order) lives in the coordinator, not the wire:
+
+======================  =======  ========================================
+type                    sender   meaning
+======================  =======  ========================================
+``hello``               worker   register: name, pid, protocol version
+``welcome``             coord    job spec + sweep identity + heartbeat
+                                 interval (the worker's marching orders)
+``lease``               coord    one cell: lease id, index, attempt,
+                                 value, seed, policy order
+``heartbeat``           worker   liveness only — never progress proof
+``result``              worker   completed cell: points + stages + digest
+``error``               worker   the cell raised; ``fatal`` marks
+                                 deterministic errors (fail the sweep)
+``shutdown``            coord    drain and exit
+``status?``/``status``  client   one-shot status snapshot (also JSON)
+======================  =======  ========================================
+
+A ``result`` carries its own sha256 digest over the *deterministic*
+projection of the payload (the points; never the wall-clock stage
+timings), computed by :func:`result_digest` on both ends. The
+coordinator recomputes it on receipt (transport integrity) and compares
+it across duplicate deliveries of the same cell (determinism contract).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.errors import FarmError
+
+#: Protocol version; a worker/coordinator mismatch refuses the pairing.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on a single message line — a farm message is a few KB of
+#: points, so anything near this is a framing bug, not a big result.
+MAX_MESSAGE_BYTES = 8 * 1024 * 1024
+
+
+def result_digest(points: Sequence[Mapping[str, Any]]) -> str:
+    """sha256 hex of a cell's points in canonical JSON form.
+
+    Covers only fields that are a pure function of (sweep identity,
+    value, seed): policy names and objectives. Stage timings are
+    wall-clock and excluded, so two executions of the same cell — on
+    different workers, attempts, or hosts — must digest identically.
+    """
+    canonical = json.dumps(
+        [dict(point) for point in points],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def points_to_wire(points: Sequence[Any]) -> List[Dict[str, Any]]:
+    """Serialize SweepPoints for the wire (plain dicts, stable keys)."""
+    return [
+        {
+            "param_value": float(p.param_value),
+            "policy": str(p.policy),
+            "seed": int(p.seed),
+            "ratio": float(p.ratio),
+            "alg_objective": float(p.alg_objective),
+            "opt_objective": float(p.opt_objective),
+        }
+        for p in points
+    ]
+
+
+def points_from_wire(payload: Sequence[Mapping[str, Any]]) -> List[Any]:
+    """Rebuild SweepPoints from wire dicts (floats JSON round-trip
+    losslessly, so this is byte-exact)."""
+    from repro.analysis.sweep import SweepPoint
+
+    return [
+        SweepPoint(
+            param_value=float(p["param_value"]),
+            policy=str(p["policy"]),
+            seed=int(p["seed"]),
+            ratio=float(p["ratio"]),
+            alg_objective=float(p["alg_objective"]),
+            opt_objective=float(p["opt_objective"]),
+        )
+        for p in payload
+    ]
+
+
+class MessageStream:
+    """One JSONL message stream over a connected socket.
+
+    ``send`` is locked (the worker's heartbeat thread and lease loop
+    share one socket); ``recv`` buffers bytes and yields one decoded
+    object per line. ``recv`` returning ``None`` means clean EOF.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._buffer = b""
+        self._send_lock = threading.Lock()
+
+    def send(self, message: Mapping[str, Any]) -> None:
+        data = (
+            json.dumps(message, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
+        with self._send_lock:
+            self._sock.sendall(data)
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """Next message, ``None`` on EOF.
+
+        Raises ``socket.timeout`` when ``timeout`` elapses mid-wait and
+        :class:`FarmError` on an unparseable or oversized line (a
+        framing bug or a foreign client — the connection is unusable).
+        """
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > MAX_MESSAGE_BYTES:
+                raise FarmError(
+                    f"farm message exceeds {MAX_MESSAGE_BYTES} bytes "
+                    f"without a newline; dropping the connection"
+                )
+            self._sock.settimeout(timeout)
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                return None
+            self._buffer += chunk
+        line, _, self._buffer = self._buffer.partition(b"\n")
+        if not line.strip():
+            return self.recv(timeout)
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise FarmError(f"unparseable farm message: {exc}") from exc
+        if not isinstance(message, dict) or "t" not in message:
+            raise FarmError(
+                f"farm message is not a typed object: {message!r}"
+            )
+        return message
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+
+
+def hello(name: str, pid: int) -> Dict[str, Any]:
+    return {
+        "t": "hello",
+        "name": str(name),
+        "pid": int(pid),
+        "protocol": PROTOCOL_VERSION,
+    }
+
+
+def welcome(
+    job: Mapping[str, Any],
+    identity: Optional[Mapping[str, Any]],
+    heartbeat_interval: float,
+) -> Dict[str, Any]:
+    return {
+        "t": "welcome",
+        "protocol": PROTOCOL_VERSION,
+        "job": dict(job),
+        "identity": dict(identity) if identity is not None else None,
+        "heartbeat_interval": float(heartbeat_interval),
+    }
+
+
+def lease(
+    lease_id: int,
+    index: int,
+    attempt: int,
+    value: float,
+    seed: int,
+    policies: Sequence[str],
+) -> Dict[str, Any]:
+    return {
+        "t": "lease",
+        "lease_id": int(lease_id),
+        "index": int(index),
+        "attempt": int(attempt),
+        "value": float(value),
+        "seed": int(seed),
+        "policies": list(policies),
+    }
+
+
+def heartbeat(name: str) -> Dict[str, Any]:
+    return {"t": "heartbeat", "name": str(name)}
+
+
+def result(
+    lease_id: int,
+    index: int,
+    attempt: int,
+    value: float,
+    seed: int,
+    points: Sequence[Mapping[str, Any]],
+    stages: Mapping[str, float],
+) -> Dict[str, Any]:
+    return {
+        "t": "result",
+        "lease_id": int(lease_id),
+        "index": int(index),
+        "attempt": int(attempt),
+        "value": float(value),
+        "seed": int(seed),
+        "points": [dict(p) for p in points],
+        "stages": dict(stages),
+        "digest": result_digest(points),
+    }
+
+
+def error(
+    lease_id: int,
+    index: int,
+    attempt: int,
+    message: str,
+    *,
+    fatal: bool,
+) -> Dict[str, Any]:
+    return {
+        "t": "error",
+        "lease_id": int(lease_id),
+        "index": int(index),
+        "attempt": int(attempt),
+        "error": str(message),
+        "fatal": bool(fatal),
+    }
+
+
+def shutdown() -> Dict[str, Any]:
+    return {"t": "shutdown"}
+
+
+def status_query() -> Dict[str, Any]:
+    """One-shot status request (``repro farm status``); any client may
+    send it, before or instead of ``hello``."""
+    return {"t": "status?"}

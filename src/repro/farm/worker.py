@@ -1,0 +1,356 @@
+"""The farm worker: connect, register, execute leases, heartbeat.
+
+A worker is a plain TCP client (``repro farm work --connect HOST:PORT``
+or spawned locally by the coordinator). It registers with ``hello``,
+rebuilds the cell function from the ``welcome`` job spec
+(:mod:`repro.farm.jobs`), then loops: receive a lease, compute the
+cell, send the result. A daemon thread heartbeats on the same socket.
+
+Fault semantics (all decided by the worker's *own* deterministic
+injector, so a spawned fleet and the coordinator agree on the script):
+
+* ``crash``/``die``/``hang``/``corrupt`` fire *inside* the cell via
+  :func:`repro.analysis.sweep._execute_cell`, exactly as in pool
+  workers — ``die`` really ``os._exit``\\ s a spawned worker (the
+  coordinator sees the connection drop), but is downgraded to a raised
+  fault for in-process workers.
+* ``disconnect`` computes the cell, then drops the connection without
+  sending and re-registers: the result is lost, the lease reissued.
+* ``delay`` computes the cell but sits on the result for ``delay=``
+  seconds: the lease expires, is reissued, and the late delivery must
+  be digest-equal with the reissue's.
+* ``dup`` sends the result twice.
+* ``partition`` goes fully silent — heartbeats included — for
+  ``delay=`` seconds before computing: the coordinator declares the
+  worker lost and reissues; the worker then rejoins with a late
+  result.
+* ``stale-heartbeat`` keeps heartbeating but silently drops the lease:
+  liveness without progress, which only the lease TTL can catch.
+
+Every decision is a pure function of ``(mode, cell index, attempt)``,
+so a reissued lease (attempt + 1) escapes an exhausted fault clause —
+that is what lets a chaos farm converge to clean-run bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import FarmError, ReproError
+from repro.farm import protocol
+from repro.farm.jobs import CellRunner, build_cell_runner
+from repro.resilience.faults import FaultInjector
+from repro.resilience.journal import RunJournal
+
+#: Set to any value to let spawned workers inherit stdout/stderr
+#: (debugging); by default their output is discarded.
+WORKER_LOG_ENV = "REPRO_FARM_WORKER_LOG"
+
+
+class _Reconnect(Exception):
+    """Internal: drop the connection and re-register (disconnect fault)."""
+
+
+def _is_fatal(exc: BaseException) -> bool:
+    """Deterministic cell errors: retrying on another worker cannot help."""
+    return isinstance(exc, (ReproError, AssertionError, TypeError))
+
+
+class FarmWorker:
+    """One socket-registered sweep worker.
+
+    Parameters
+    ----------
+    host / port:
+        The coordinator endpoint.
+    name:
+        Registration name; defaults to ``worker-<pid>``. Reconnects
+        reuse the name, which is how the coordinator recognizes a
+        partitioned worker rejoining.
+    injector:
+        Deterministic fault source (``--inject-faults`` /
+        ``REPRO_FAULTS``). ``None`` runs clean.
+    journal_path:
+        Optional per-worker :class:`RunJournal`; every computed cell is
+        recorded under the sweep identity from ``welcome``, so worker
+        journals merge with the coordinator's via ``repro farm merge``.
+    in_process:
+        True when the worker runs inside another repro process (tests):
+        downgrades ``die`` so an injected death cannot kill the host.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        name: Optional[str] = None,
+        injector: Optional[FaultInjector] = None,
+        journal_path: Optional[Path | str] = None,
+        in_process: bool = False,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self._host = host
+        self._port = int(port)
+        self.name = name or f"worker-{os.getpid()}"
+        self._injector = injector
+        self._journal_path = journal_path
+        self._journal: Optional[RunJournal] = None
+        self._in_process = in_process
+        self._connect_timeout = connect_timeout
+        self._runner: Optional[CellRunner] = None
+        self._mute_until = 0.0
+        self.cells = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def run(self) -> int:
+        """Serve leases until the coordinator shuts us down (or goes
+        away); returns the number of cells computed."""
+        try:
+            while True:
+                try:
+                    self._session()
+                except _Reconnect:
+                    continue
+                except OSError:
+                    # Coordinator gone mid-session; nothing to serve.
+                    break
+                break
+        finally:
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None
+        return self.cells
+
+    def _session(self) -> None:
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._connect_timeout
+        )
+        sock.settimeout(None)
+        stream = protocol.MessageStream(sock)
+        stop_heartbeat = threading.Event()
+        try:
+            stream.send(protocol.hello(self.name, os.getpid()))
+            welcome = stream.recv(timeout=self._connect_timeout)
+            if welcome is None or welcome.get("t") != "welcome":
+                raise FarmError(
+                    f"coordinator did not welcome worker {self.name}: "
+                    f"{welcome!r}"
+                )
+            if welcome.get("protocol") != protocol.PROTOCOL_VERSION:
+                raise FarmError(
+                    f"coordinator speaks protocol "
+                    f"{welcome.get('protocol')!r}, worker speaks "
+                    f"{protocol.PROTOCOL_VERSION}"
+                )
+            if self._runner is None:
+                self._runner = build_cell_runner(
+                    welcome["job"],
+                    injector=self._injector,
+                    allow_exit=not self._in_process,
+                )
+            identity = welcome.get("identity")
+            if self._journal_path is not None and identity is not None:
+                if self._journal is None:
+                    self._journal = RunJournal(self._journal_path)
+                    self._journal.open(identity)
+            interval = float(welcome.get("heartbeat_interval", 0.5))
+            beat = threading.Thread(
+                target=self._heartbeat_loop,
+                args=(stream, interval, stop_heartbeat),
+                daemon=True,
+            )
+            beat.start()
+            while True:
+                message = stream.recv()
+                if message is None or message.get("t") == "shutdown":
+                    return
+                if message.get("t") == "lease":
+                    self._handle_lease(stream, message)
+        finally:
+            stop_heartbeat.set()
+            stream.close()
+
+    def _heartbeat_loop(
+        self,
+        stream: protocol.MessageStream,
+        interval: float,
+        stop: threading.Event,
+    ) -> None:
+        beat = protocol.heartbeat(self.name)
+        while not stop.wait(interval):
+            if time.monotonic() < self._mute_until:
+                continue  # partitioned: silence, but keep ticking
+            try:
+                stream.send(beat)
+            except OSError:
+                return  # session is tearing down
+
+    # ------------------------------------------------------------------
+    # Lease execution
+    # ------------------------------------------------------------------
+
+    def _fires(self, mode: str, index: int, attempt: int) -> bool:
+        return self._injector is not None and self._injector.should(
+            mode, index, attempt
+        )
+
+    def _handle_lease(
+        self, stream: protocol.MessageStream, message: Dict[str, Any]
+    ) -> None:
+        assert self._runner is not None
+        lease_id = int(message["lease_id"])
+        index = int(message["index"])
+        attempt = int(message["attempt"])
+        value = float(message["value"])
+        seed = int(message["seed"])
+        policies = tuple(str(p) for p in message["policies"])
+        delay = self._injector.delay if self._injector is not None else 0.0
+
+        if self._fires("stale-heartbeat", index, attempt):
+            # Liveness without progress: the lease is silently dropped
+            # while heartbeats keep flowing. Only the coordinator's
+            # lease TTL can catch this.
+            return
+        if self._fires("partition", index, attempt):
+            # Full silence — heartbeats muted — long enough for the
+            # coordinator to declare us lost and reissue; then compute
+            # and deliver late, rejoining.
+            self._mute_until = time.monotonic() + delay
+            time.sleep(delay)
+
+        try:
+            points, stages = self._runner(
+                index, attempt, value, seed, policies
+            )
+        except Exception as exc:
+            stream.send(
+                protocol.error(
+                    lease_id,
+                    index,
+                    attempt,
+                    f"{type(exc).__name__}: {exc}",
+                    fatal=_is_fatal(exc),
+                )
+            )
+            return
+
+        if self._journal is not None:
+            from repro.analysis.sweep import _point_to_payload
+
+            self._journal.record(
+                value,
+                seed,
+                {p.policy: _point_to_payload(p) for p in points},
+                stages,
+            )
+        self.cells += 1
+
+        if self._fires("delay", index, attempt):
+            time.sleep(delay)
+        if self._fires("disconnect", index, attempt):
+            raise _Reconnect
+        reply = protocol.result(
+            lease_id,
+            index,
+            attempt,
+            value,
+            seed,
+            protocol.points_to_wire(points),
+            stages,
+        )
+        stream.send(reply)
+        if self._fires("dup", index, attempt):
+            stream.send(reply)
+
+
+# ----------------------------------------------------------------------
+# Local spawning (the coordinator's default fleet; also used by CI)
+# ----------------------------------------------------------------------
+
+
+def spawn_local_workers(
+    host: str,
+    port: int,
+    count: int,
+    *,
+    fault_spec: Optional[str] = None,
+    journal_dir: Optional[Path | str] = None,
+    name_prefix: str = "local",
+) -> List[subprocess.Popen]:
+    """Spawn ``count`` worker subprocesses pointed at a coordinator.
+
+    Workers inherit this interpreter and a ``PYTHONPATH`` that resolves
+    this exact :mod:`repro` checkout, so a farm run never mixes library
+    versions. ``fault_spec`` hands workers the same deterministic chaos
+    script the coordinator runs (``--inject-faults``).
+    """
+    import repro
+
+    src_root = Path(repro.__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(src_root) + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else str(src_root)
+    )
+    quiet = not env.get(WORKER_LOG_ENV)
+    procs: List[subprocess.Popen] = []
+    for i in range(count):
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "farm",
+            "work",
+            "--connect",
+            f"{host}:{port}",
+            "--name",
+            f"{name_prefix}-{i}",
+        ]
+        if fault_spec:
+            argv += ["--inject-faults", fault_spec]
+        if journal_dir is not None:
+            argv += [
+                "--journal",
+                str(Path(journal_dir) / f"{name_prefix}-{i}.journal"),
+            ]
+        procs.append(
+            subprocess.Popen(
+                argv,
+                env=env,
+                stdout=subprocess.DEVNULL if quiet else None,
+                stderr=subprocess.DEVNULL if quiet else None,
+            )
+        )
+    return procs
+
+
+def reap_workers(
+    procs: List[subprocess.Popen], *, grace: float = 5.0
+) -> None:
+    """Terminate and join spawned workers (idempotent, best-effort)."""
+    for proc in procs:
+        if proc.poll() is None:
+            try:
+                proc.terminate()
+            except OSError:  # pragma: no cover - already gone
+                pass
+    deadline = time.monotonic() + grace
+    for proc in procs:
+        remaining = max(0.0, deadline - time.monotonic())
+        try:
+            proc.wait(timeout=remaining)
+        except subprocess.TimeoutExpired:  # pragma: no cover - stuck
+            proc.kill()
+            proc.wait(timeout=grace)

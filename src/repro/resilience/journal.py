@@ -29,9 +29,10 @@ can reconstruct the invocation and skip every journaled cell.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import Any, Dict, IO, Mapping, Optional, Tuple
+from typing import Any, Dict, IO, List, Mapping, Optional, Tuple
 
 from repro.core.errors import ResilienceError
 from repro.resilience.atomic import atomic_write_json
@@ -61,6 +62,7 @@ class RunJournal:
         self._entries: Dict[CellKey, Dict[str, Any]] = {}
         self._handle: Optional[IO[str]] = None
         self._header: Optional[Dict[str, Any]] = None
+        self._salvage = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -73,15 +75,24 @@ class RunJournal:
         ``sweep_identity`` must be JSON-serializable and identical
         across the original run and every resume — a mismatch raises
         :class:`ResilienceError`. A missing file starts a fresh
-        journal; a torn trailing line (killed writer) is dropped.
+        journal; a torn trailing line (killed writer) is dropped. A
+        torn *identity header* (a writer killed inside its very first
+        write) leaves nothing trustworthy: the file is truncated and a
+        fresh header written, restoring zero cells.
         """
         identity = json.loads(_canonical(sweep_identity))
         restored = 0
+        self._salvage = False
         if self.path.exists():
             restored = self._load(identity)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        # repro: allow[RC403] -- the journal is an append-only WAL: flush-per-record by design, torn tails tolerated by _load
-        self._handle = self.path.open("a", encoding="utf-8")
+        # Deliberately non-atomic (RC403 does not apply): the journal
+        # is an append-only WAL, flushed per record, torn tails
+        # tolerated by _load. A salvaged journal (torn identity
+        # header) is rewritten from scratch instead — every line after
+        # a torn header is untrusted.
+        mode = "w" if self._salvage else "a"
+        self._handle = self.path.open(mode, encoding="utf-8")
         self._header = identity
         if self.path.stat().st_size == 0:
             self._append(
@@ -94,53 +105,20 @@ class RunJournal:
         return restored
 
     def _load(self, identity: Dict[str, Any]) -> int:
-        saw_header = False
-        entries: Dict[CellKey, Dict[str, Any]] = {}
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    event = json.loads(line)
-                except json.JSONDecodeError:
-                    # A torn trailing line from a killed writer; drop it
-                    # and everything after (append order ⇒ it is last).
-                    break
-                if not isinstance(event, dict):
-                    break
-                kind = event.get("t")
-                if kind == "header":
-                    schema = event.get("schema")
-                    if schema != JOURNAL_SCHEMA_VERSION:
-                        raise ResilienceError(
-                            f"journal {self.path} has schema {schema!r}; "
-                            f"this engine writes {JOURNAL_SCHEMA_VERSION}"
-                        )
-                    recorded = event.get("sweep")
-                    if _canonical(recorded) != _canonical(identity):
-                        raise ResilienceError(
-                            f"journal {self.path} belongs to a different "
-                            f"sweep; refusing to resume (delete it or "
-                            f"pass a fresh --journal path)"
-                        )
-                    saw_header = True
-                elif kind == "cell":
-                    if not saw_header:
-                        raise ResilienceError(
-                            f"journal {self.path} has no header line"
-                        )
-                    try:
-                        key = (float(event["value"]), int(event["seed"]))
-                        points = dict(event["points"])
-                    except (KeyError, TypeError, ValueError):
-                        break  # torn / malformed: stop trusting the tail
-                    entries[key] = {
-                        "points": points,
-                        "stages": dict(event.get("stages", {})),
-                    }
-        if not saw_header and entries:  # pragma: no cover - defensive
-            raise ResilienceError(f"journal {self.path} has no header line")
+        header, entries = _parse_journal(self.path)
+        if header is None:
+            # The identity header itself is torn (a writer died inside
+            # its first write) or the file is empty: nothing after it
+            # can be trusted, so salvage by truncating on open.
+            self._salvage = True
+            self._entries = {}
+            return 0
+        if _canonical(header) != _canonical(identity):
+            raise ResilienceError(
+                f"journal {self.path} belongs to a different "
+                f"sweep; refusing to resume (delete it or "
+                f"pass a fresh --journal path)"
+            )
         self._entries = entries
         return len(entries)
 
@@ -203,6 +181,127 @@ class RunJournal:
 
 def _canonical(payload: Any) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _parse_journal(
+    path: Path,
+) -> Tuple[Optional[Dict[str, Any]], Dict[CellKey, Dict[str, Any]]]:
+    """Parse a journal file into ``(identity, entries)``.
+
+    Returns ``(None, {})`` when the identity header line is missing or
+    torn (everything after an unreadable line is untrusted, and the
+    header is written first). Torn trailing cell lines are dropped.
+    Raises :class:`ResilienceError` on a schema mismatch or a cell line
+    appearing before any header — both mean the file is not a journal
+    this engine wrote, not a crash artifact.
+    """
+    header: Optional[Dict[str, Any]] = None
+    entries: Dict[CellKey, Dict[str, Any]] = {}
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                # A torn line from a killed writer; drop it and
+                # everything after (append order ⇒ it is last).
+                break
+            if not isinstance(event, dict):
+                break
+            kind = event.get("t")
+            if kind == "header":
+                schema = event.get("schema")
+                if schema != JOURNAL_SCHEMA_VERSION:
+                    raise ResilienceError(
+                        f"journal {path} has schema {schema!r}; "
+                        f"this engine writes {JOURNAL_SCHEMA_VERSION}"
+                    )
+                header = dict(event.get("sweep") or {})
+            elif kind == "cell":
+                if header is None:
+                    raise ResilienceError(
+                        f"journal {path} has a cell line before any "
+                        f"header; not a journal this engine wrote"
+                    )
+                try:
+                    key = (float(event["value"]), int(event["seed"]))
+                    points = dict(event["points"])
+                except (KeyError, TypeError, ValueError):
+                    break  # torn / malformed: stop trusting the tail
+                entries[key] = {
+                    "points": points,
+                    "stages": dict(event.get("stages", {})),
+                }
+    return header, entries
+
+
+def read_journal(
+    path: Path | str,
+) -> Tuple[Dict[str, Any], Dict[CellKey, Dict[str, Any]]]:
+    """Read-only parse of a journal, for merging and inspection.
+
+    Returns ``(identity, entries)``. Unlike :meth:`RunJournal.open`,
+    which can salvage a torn identity header by truncating, a reader
+    cannot guess the identity — a missing or unreadable header raises
+    :class:`ResilienceError`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ResilienceError(f"journal {path} does not exist")
+    header, entries = _parse_journal(path)
+    if header is None:
+        raise ResilienceError(
+            f"journal {path} has no readable identity header"
+        )
+    return header, entries
+
+
+def canonical_journal_lines(
+    identity: Mapping[str, Any],
+    entries: Mapping[CellKey, Mapping[str, Any]],
+) -> List[str]:
+    """The canonical projection of a journal: deterministic bytes.
+
+    Header first, then cells sorted by ``(value, seed)``, with the
+    wall-clock ``stages`` timings excluded — everything left is a pure
+    function of the sweep identity, so two journals for the same sweep
+    (serial vs farmed, faulted vs clean, resumed vs one-shot) project
+    to identical lines. This is what ``repro farm merge`` writes and
+    what the chaos wall compares.
+    """
+    lines = [
+        _canonical(
+            {
+                "t": "header",
+                "schema": JOURNAL_SCHEMA_VERSION,
+                "sweep": dict(identity),
+            }
+        )
+    ]
+    for key in sorted(entries):
+        value, seed = key
+        lines.append(
+            _canonical(
+                {
+                    "t": "cell",
+                    "value": float(value),
+                    "seed": int(seed),
+                    "points": dict(entries[key]["points"]),
+                }
+            )
+        )
+    return lines
+
+
+def canonical_journal_digest(
+    identity: Mapping[str, Any],
+    entries: Mapping[CellKey, Mapping[str, Any]],
+) -> str:
+    """sha256 hex digest of the canonical journal projection."""
+    text = "\n".join(canonical_journal_lines(identity, entries)) + "\n"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 # ----------------------------------------------------------------------

@@ -793,11 +793,12 @@ class TestHead:
         assert report.suppressed == 0
 
     def test_src_tree_has_justified_suppressions(self):
-        # The hand-rolled atomic writers carry exactly four justified
+        # The hand-rolled atomic writers carry exactly three justified
         # pragmas (cache torn-write fixture, cache tmp protocol, trace
-        # writer tmp protocol, append-mode journal).
+        # writer tmp protocol). The journal's append-mode open needs
+        # none: its mode is a variable, which RC403 does not flag.
         report = run_check([REPO / "src"])
-        assert report.suppressed == 4
+        assert report.suppressed == 3
 
     def test_cli_entry_point(self):
         result = subprocess.run(

@@ -1,0 +1,536 @@
+"""Chaos wall for the distributed sweep farm.
+
+The contract under test is the farm extension of the engine's
+byte-identity guarantee: a sweep distributed over socket workers —
+while those workers crash, hang, disconnect, partition, deliver late,
+deliver twice, or go silently stale — must produce output
+byte-identical to a clean serial run, with every absorbed fault
+visible in the :class:`FarmStats` ledger. Divergent duplicate results
+(a determinism violation) must fail the sweep loudly instead of
+picking a winner.
+
+Workers here run as in-process threads (``in_process=True``) so the
+wall stays fast and a ``die`` fault cannot kill pytest; the subprocess
+fleet is exercised in test_farm_cli.py and CI's farm-smoke job.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.errors import FarmError, SweepInterrupted
+from repro.farm import FarmOptions, FarmStats, FarmWorker, protocol
+from repro.farm.coordinator import FarmCoordinator
+from repro.farm.jobs import FarmJob
+from repro.resilience import (
+    CellTask,
+    FaultInjector,
+    RunJournal,
+    SupervisedExecutor,
+    SupervisorOptions,
+)
+from repro.experiments.fig5 import run_panel
+
+#: Same 4-cell slice as the supervisor chaos wall: fast but real.
+PANEL_KW = dict(
+    n_slots=120,
+    seeds=(0, 1),
+    param_values=(2, 8),
+    policies=("Greedy", "MVD", "LQD-V"),
+)
+
+FAST = SupervisorOptions(backoff_base=0.001, backoff_max=0.01)
+
+
+def farm_options(workers=2, **overrides):
+    """Tight clocks so chaos converges in test time, not operator time."""
+    defaults = dict(
+        workers=0,
+        lease_ttl=3.0,
+        heartbeat_interval=0.05,
+        heartbeat_timeout=0.8,
+        join_grace=20.0,
+        poll_interval=0.02,
+    )
+    defaults.update(overrides)
+    options = FarmOptions(**defaults)
+    if workers:
+        options.announce = _thread_fleet(workers)
+    return options
+
+
+def _thread_fleet(count, fault_spec=None):
+    """An announce callback that attaches in-process thread workers."""
+
+    def announce(host, port):
+        injector = (
+            FaultInjector.parse(fault_spec) if fault_spec else None
+        )
+        for i in range(count):
+            worker = FarmWorker(
+                host,
+                port,
+                name=f"t{i}",
+                injector=injector,
+                in_process=True,
+            )
+            threading.Thread(target=worker.run, daemon=True).start()
+
+    return announce
+
+
+@pytest.fixture(scope="module")
+def clean_result():
+    return run_panel(4, **PANEL_KW)
+
+
+def csv_bytes(result, tmp_path, name):
+    path = tmp_path / name
+    result.to_csv(path)
+    return path.read_bytes()
+
+
+class TestCleanFarm:
+    def test_farm_run_byte_identical_to_serial(
+        self, clean_result, tmp_path
+    ):
+        result = run_panel(4, **PANEL_KW, farm=farm_options())
+        assert result.points == clean_result.points
+        assert csv_bytes(result, tmp_path, "farm.csv") == csv_bytes(
+            clean_result, tmp_path, "clean.csv"
+        )
+        farm = result.stats.farm
+        assert farm is not None
+        assert farm.cells_farmed == 4
+        assert farm.fallback_cells == 0
+        assert farm.workers_joined == 2
+        assert farm.leases_issued == 4
+        # The ledger reaches the stage registry and the summary line.
+        assert "farm:" in result.stats.summary()
+
+    def test_farm_stats_merge_into_stage_registry(self):
+        result = run_panel(4, **PANEL_KW, farm=farm_options())
+        # Worker wall-clock shows up under the sweep's stage ledger.
+        assert result.stats.farm.worker_stages
+        assert sum(result.stats.stage_seconds.values()) > 0
+
+
+class TestNetworkChaos:
+    """Each network fault mode, injected worker-side, absorbed
+    coordinator-side, output bytes untouched."""
+
+    @pytest.mark.parametrize(
+        "spec, ledger_check",
+        [
+            # Result computed, connection dropped before sending: the
+            # lease is lost with the connection and reissued.
+            ("disconnect@1", lambda f: f.leases_reissued >= 1),
+            # Result held past the lease TTL: expiry, reissue, and the
+            # late delivery arrives as a digest-checked duplicate.
+            (
+                "delay@2;delay=4",
+                lambda f: f.leases_expired >= 1
+                and f.duplicate_results + f.leases_reissued >= 1,
+            ),
+            # Same result delivered twice on purpose.
+            ("dup@0", lambda f: f.duplicate_results >= 1),
+            # Heartbeats flow but the lease is silently dropped: only
+            # the lease TTL catches it.
+            ("stale-heartbeat@1", lambda f: f.leases_expired >= 1),
+            # Full silence long enough to be declared lost, then a late
+            # rejoin with the computed result.
+            (
+                "partition@2;delay=4",
+                lambda f: f.heartbeats_missed >= 1
+                and f.workers_lost >= 1,
+            ),
+            # In-cell faults still work inside socket workers.
+            ("crash@1", lambda f: f.cells_farmed == 4),
+            # Everything at once.
+            (
+                "disconnect@0;dup@1;stale-heartbeat@2;delay@3;delay=4",
+                lambda f: f.leases_reissued >= 2,
+            ),
+        ],
+    )
+    def test_chaos_farm_byte_identical(
+        self, clean_result, tmp_path, spec, ledger_check
+    ):
+        options = farm_options(workers=0)
+        options.announce = _thread_fleet(2, fault_spec=spec)
+        result = run_panel(
+            4,
+            **PANEL_KW,
+            resilience=FAST,
+            farm=options,
+            fault_injector=FaultInjector.parse(spec),
+        )
+        assert result.points == clean_result.points
+        assert csv_bytes(result, tmp_path, "chaos.csv") == csv_bytes(
+            clean_result, tmp_path, "clean.csv"
+        )
+        farm = result.stats.farm
+        assert ledger_check(farm), farm.as_dict()
+
+    def test_corrupt_results_rejected_and_retried(self, clean_result):
+        """A worker returning NaN garbage is caught by the coordinator's
+        validation hook, charged a failure, and retried to clean
+        bytes."""
+        spec = "corrupt@1"
+        options = farm_options(workers=0)
+        options.announce = _thread_fleet(2, fault_spec=spec)
+        result = run_panel(
+            4,
+            **PANEL_KW,
+            resilience=FAST,
+            farm=options,
+            fault_injector=FaultInjector.parse(spec),
+        )
+        assert result.points == clean_result.points
+        assert result.stats.farm.results_rejected >= 1
+        assert result.stats.resilience.corrupt_results >= 1
+
+
+class TestDegradation:
+    def test_no_workers_falls_back_to_local(self, clean_result):
+        """Worker exhaustion: nobody joins within the grace window, so
+        every cell flows down to the local pool/serial chain."""
+        options = farm_options(workers=0, join_grace=0.3)
+        result = run_panel(4, **PANEL_KW, farm=options)
+        assert result.points == clean_result.points
+        farm = result.stats.farm
+        assert farm.cells_farmed == 0
+        assert farm.fallback_cells == 4
+        assert farm.workers_joined == 0
+
+    def test_reissue_budget_exhaustion_falls_back(self, clean_result):
+        """A cell whose every lease is dropped stops being gambled on
+        after max_reissues and completes locally instead."""
+        spec = "stale-heartbeat@1x99"
+        options = farm_options(
+            workers=0, lease_ttl=0.4, max_reissues=2, join_grace=2.0
+        )
+        options.announce = _thread_fleet(1, fault_spec=spec)
+        result = run_panel(
+            4,
+            **PANEL_KW,
+            resilience=FAST,
+            farm=options,
+            fault_injector=FaultInjector.parse(spec),
+        )
+        assert result.points == clean_result.points
+        farm = result.stats.farm
+        assert farm.fallback_cells >= 1
+        assert farm.leases_expired >= 3  # initial lease + 2 reissues
+        assert farm.cells_farmed == 3
+
+    def test_farm_then_pool_then_serial_chain(self, clean_result):
+        """The full degradation ladder in one run: the farm hands cells
+        to the pool, ``die`` breaks the pool past its rebuild budget,
+        and the serial lane finishes the job byte-identically."""
+        options = farm_options(workers=0, join_grace=0.3)
+        resilience = SupervisorOptions(
+            backoff_base=0.001, backoff_max=0.01, max_pool_rebuilds=0
+        )
+        result = run_panel(
+            4,
+            **PANEL_KW,
+            jobs=2,
+            resilience=resilience,
+            farm=options,
+            fault_injector=FaultInjector.parse("die@0"),
+        )
+        assert result.points == clean_result.points
+        assert result.stats.farm.fallback_cells == 4
+        assert result.stats.resilience.serial_fallbacks == 1
+
+
+class TestDeterminismViolation:
+    def test_divergent_duplicate_fails_loudly(self):
+        """Two deliveries of one cell with different bytes is not a
+        retryable fault — it means the sweep itself cannot be trusted,
+        and the coordinator must raise instead of picking a winner."""
+        executor = SupervisedExecutor(
+            lambda *a: None, lambda *a: None, n_jobs=1, options=FAST
+        )
+        stats = FarmStats()
+        # Two cells: the second stays unfinished so the orchestration
+        # loop is still alive when the divergent duplicate of the first
+        # arrives (a loop that exited on completion could never notice).
+        tasks = [
+            CellTask(index=0, key=(1.0, 0), args=(1.0, 0, ("LWD",))),
+            CellTask(index=1, key=(2.0, 0), args=(2.0, 0, ("LWD",))),
+        ]
+        coordinator = FarmCoordinator(
+            FarmJob(kind="fig5", spec={}),
+            identity=None,
+            options=FarmOptions(
+                workers=0, poll_interval=0.02, join_grace=30.0
+            ),
+            stats=stats,
+            experiment="unit",
+        )
+
+        point = {
+            "param_value": 1.0,
+            "policy": "LWD",
+            "seed": 0,
+            "ratio": 1.25,
+            "alg_objective": 80.0,
+            "opt_objective": 100.0,
+        }
+        altered = dict(point, ratio=1.75)
+
+        def lying_worker(host, port):
+            sock = socket.create_connection((host, port), timeout=10)
+            stream = protocol.MessageStream(sock)
+            try:
+                stream.send(protocol.hello("liar", 1))
+                welcome = stream.recv(timeout=10)
+                assert welcome["t"] == "welcome"
+                lease = stream.recv(timeout=10)
+                assert lease["t"] == "lease"
+                args = (
+                    lease["lease_id"],
+                    lease["index"],
+                    lease["attempt"],
+                    lease["value"],
+                    lease["seed"],
+                )
+                stream.send(protocol.result(*args, [point], {}))
+                stream.send(protocol.result(*args, [altered], {}))
+                # Keep the connection open (heartbeat-free is fine for
+                # the few polls this takes) until the coordinator dies.
+                while stream.recv(timeout=10) is not None:
+                    pass
+            except (OSError, FarmError):
+                pass
+            finally:
+                stream.close()
+
+        host, port = coordinator.endpoint
+        thread = threading.Thread(
+            target=lying_worker, args=(host, port), daemon=True
+        )
+        thread.start()
+        try:
+            with pytest.raises(FarmError, match="determinism violation"):
+                coordinator.run(tasks, executor, {}, [])
+        finally:
+            coordinator.close()
+            thread.join(timeout=10)
+
+    def test_transport_digest_mismatch_reissues_without_charge(self):
+        """A result whose payload does not match its own digest is a
+        transport problem: rejected and re-leased, no failure charged,
+        no quarantine."""
+        executor = SupervisedExecutor(
+            lambda *a: None, lambda *a: None, n_jobs=1, options=FAST
+        )
+        stats = FarmStats()
+        task = CellTask(index=0, key=(2.0, 0), args=(2.0, 0, ("LWD",)))
+        coordinator = FarmCoordinator(
+            FarmJob(kind="fig5", spec={}),
+            identity=None,
+            options=FarmOptions(
+                workers=0, poll_interval=0.02, join_grace=30.0
+            ),
+            stats=stats,
+            experiment="unit",
+        )
+
+        point = {
+            "param_value": 2.0,
+            "policy": "LWD",
+            "seed": 0,
+            "ratio": 1.25,
+            "alg_objective": 80.0,
+            "opt_objective": 100.0,
+        }
+
+        leases_seen = []
+
+        def flaky_transport(host, port):
+            # No asserts in here: a daemon thread's failure is silent,
+            # so observations are collected and checked in the main
+            # thread instead.
+            sock = socket.create_connection((host, port), timeout=10)
+            stream = protocol.MessageStream(sock)
+            try:
+                stream.send(protocol.hello("flaky", 1))
+                stream.recv(timeout=10)  # welcome
+                first = stream.recv(timeout=10)
+                leases_seen.append(first)
+                garbled = protocol.result(
+                    first["lease_id"],
+                    first["index"],
+                    first["attempt"],
+                    first["value"],
+                    first["seed"],
+                    [point],
+                    {},
+                )
+                garbled["digest"] = "0" * 64  # bit-rot in transit
+                stream.send(garbled)
+                second = stream.recv(timeout=10)  # the reissued lease
+                leases_seen.append(second)
+                stream.send(
+                    protocol.result(
+                        second["lease_id"],
+                        second["index"],
+                        second["attempt"],
+                        second["value"],
+                        second["seed"],
+                        [point],
+                        {},
+                    )
+                )
+                while stream.recv(timeout=10) is not None:
+                    pass
+            except (OSError, FarmError):
+                pass
+            finally:
+                stream.close()
+
+        host, port = coordinator.endpoint
+        thread = threading.Thread(
+            target=flaky_transport, args=(host, port), daemon=True
+        )
+        thread.start()
+        results = {}
+        failures = []
+        try:
+            leftover = coordinator.run([task], executor, results, failures)
+        finally:
+            coordinator.close()
+            thread.join(timeout=10)
+        assert leftover == []
+        assert failures == []
+        assert (2.0, 0) in results
+        assert [m["t"] for m in leases_seen] == ["lease", "lease"]
+        assert leases_seen[1]["attempt"] == leases_seen[0]["attempt"] + 1
+        assert stats.results_rejected == 1
+        assert stats.leases_reissued == 1
+        assert executor.stats.retries == 0  # transport is never charged
+
+
+class TestJournalsAndResume:
+    def test_interrupt_mid_farm_then_resume(self, clean_result, tmp_path):
+        """An injected interrupt lands between farmed deliveries; the
+        journal holds the completed cells and the resumed (local) run
+        recomputes only the rest, byte-identically."""
+        journal_path = tmp_path / "farm.jsonl"
+        with pytest.raises(SweepInterrupted) as excinfo:
+            run_panel(
+                4,
+                **PANEL_KW,
+                farm=farm_options(),
+                journal=RunJournal(journal_path),
+                fault_injector=FaultInjector.parse("interrupt@2"),
+            )
+        assert excinfo.value.completed == 2
+
+        resumed = run_panel(
+            4, **PANEL_KW, journal=RunJournal(journal_path)
+        )
+        assert resumed.points == clean_result.points
+        assert resumed.stats.resilience.resumed_cells == 2
+        assert resumed.stats.cells_executed == 2
+
+    def test_farm_journal_matches_serial_journal(
+        self, clean_result, tmp_path
+    ):
+        """Coordinator journals written under farming project to the
+        same canonical digest as a serial run's journal."""
+        from repro.resilience.journal import (
+            canonical_journal_digest,
+            read_journal,
+        )
+
+        serial_path = tmp_path / "serial.jsonl"
+        run_panel(4, **PANEL_KW, journal=RunJournal(serial_path))
+        farm_path = tmp_path / "farm.jsonl"
+        run_panel(
+            4,
+            **PANEL_KW,
+            farm=farm_options(),
+            journal=RunJournal(farm_path),
+        )
+        serial_digest = canonical_journal_digest(
+            *read_journal(serial_path)
+        )
+        farm_digest = canonical_journal_digest(*read_journal(farm_path))
+        assert serial_digest == farm_digest
+
+
+class TestStatusSocket:
+    def test_status_query_answered_any_time(self):
+        """``repro farm status`` works against an idle coordinator —
+        before run(), without a hello, from a non-worker client."""
+        coordinator = FarmCoordinator(
+            FarmJob(kind="fig5", spec={}),
+            identity=None,
+            options=FarmOptions(workers=0),
+            stats=FarmStats(),
+            experiment="fig5-4",
+        )
+        try:
+            host, port = coordinator.endpoint
+            sock = socket.create_connection((host, port), timeout=10)
+            stream = protocol.MessageStream(sock)
+            try:
+                stream.send(protocol.status_query())
+                reply = stream.recv(timeout=10)
+            finally:
+                stream.close()
+            assert reply["t"] == "status"
+            assert reply["experiment"] == "fig5-4"
+            assert reply["state"] == "starting"
+        finally:
+            coordinator.close()
+
+    def test_status_snapshot_during_run_carries_ledger(self):
+        """Mid-run snapshots expose workers, progress, and the ledger —
+        the payload of ``repro farm status --format json``."""
+        seen = {}
+
+        def spy(host, port):
+            _thread_fleet(2)(host, port)
+
+            def poll():
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    try:
+                        sock = socket.create_connection(
+                            (host, port), timeout=5
+                        )
+                    except OSError:
+                        return
+                    stream = protocol.MessageStream(sock)
+                    try:
+                        stream.send(protocol.status_query())
+                        reply = stream.recv(timeout=5)
+                    except (OSError, FarmError):
+                        return
+                    finally:
+                        stream.close()
+                    if reply and reply.get("state") == "running":
+                        seen.update(reply)
+                        if reply.get("workers"):
+                            return
+                    time.sleep(0.02)
+
+            threading.Thread(target=poll, daemon=True).start()
+
+        options = farm_options(workers=0)
+        options.announce = spy
+        run_panel(4, **PANEL_KW, farm=options)
+        assert seen, "status poller never saw a running snapshot"
+        assert seen["cells"]["total"] == 4
+        assert "ledger" in seen and "elapsed" in seen
+        for worker in seen["workers"]:
+            assert set(worker) == {"name", "live", "beat_age", "busy"}

@@ -76,6 +76,36 @@ class TestJournalUnit:
         assert reloaded.get(2.0, 0) is None
         reloaded.close()
 
+    def test_torn_identity_header_is_salvaged(self, tmp_path):
+        """A writer killed inside its very *first* write leaves a torn
+        header; nothing after it can be trusted, so open() must restore
+        zero cells and rewrite the file as a fresh, valid journal."""
+        from repro.resilience.journal import read_journal
+
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.open(self.IDENTITY)
+            journal.record(1.0, 0, {"LWD": {"ratio": 1.25}}, {})
+        data = path.read_bytes()
+        header_end = data.index(b"\n")
+        # Truncate mid-byte through the header line itself.
+        path.write_bytes(data[: header_end // 2])
+
+        with RunJournal(path) as journal:
+            assert journal.open(self.IDENTITY) == 0
+            journal.record(2.0, 0, {"LWD": {"ratio": 1.5}}, {})
+
+        # The salvage rewrote from scratch: exactly one valid header,
+        # no remnant of the torn bytes, and resuming trusts it again.
+        lines = path.read_text().splitlines()
+        assert sum('"t":"header"' in line for line in lines) == 1
+        identity, entries = read_journal(path)
+        assert identity == self.IDENTITY
+        assert list(entries) == [(2.0, 0)]
+        reloaded = RunJournal(path)
+        assert reloaded.open(self.IDENTITY) == 1
+        reloaded.close()
+
     def test_floats_round_trip_exactly(self, tmp_path):
         ugly = 1.0000000000000002 / 3.0
         path = tmp_path / "run.jsonl"
@@ -157,6 +187,36 @@ class TestInterruptAndResume:
         assert again.points == first.points
         assert again.stats.cells_executed == 0
         assert again.stats.resilience.resumed_cells == 4
+
+    def test_quarantine_counts_survive_journal_resume(self, tmp_path):
+        """A quarantined cell does not poison the journal: the three
+        completed cells are journaled, and a later clean run resumes
+        them and recomputes only the quarantined one."""
+        from repro.core.errors import SweepExecutionError
+        from repro.resilience import SupervisorOptions
+
+        clean = run_panel(4, **PANEL_KW)
+        journal_path = tmp_path / "run.jsonl"
+        with pytest.raises(SweepExecutionError) as excinfo:
+            run_panel(
+                4,
+                **PANEL_KW,
+                resilience=SupervisorOptions(
+                    backoff_base=0.001, backoff_max=0.01
+                ),
+                journal=RunJournal(journal_path),
+                fault_injector=FaultInjector.parse("crash@1x99"),
+            )
+        assert len(excinfo.value.failures) == 1
+        assert excinfo.value.result.stats.resilience.quarantined == 1
+
+        resumed = run_panel(
+            4, **PANEL_KW, journal=RunJournal(journal_path)
+        )
+        assert resumed.points == clean.points
+        assert resumed.stats.resilience.resumed_cells == 3
+        assert resumed.stats.cells_executed == 1
+        assert resumed.stats.resilience.quarantined == 0
 
     def test_journal_from_different_sweep_is_rejected(self, tmp_path):
         journal_path = tmp_path / "run.jsonl"
