@@ -7,18 +7,25 @@ list plus scan statistics — and knows how to render itself for humans
 (schema below, consumed by the CI artifact upload and the golden-corpus
 tests).
 
-JSON schema (``schema`` = 1)::
+JSON schema (``schema`` = 2)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "files_scanned": <int>,
       "suppressed": <int>,
       "findings": [
         {"code": "RC101", "rule": "wall-clock", "path": "src/...",
-         "line": 12, "col": 4, "message": "..."},
+         "line": 12, "col": 4, "scope": "module", "message": "..."},
         ...
       ]
     }
+
+Schema history: v1 (PR 5) had no ``scope`` field — every rule was
+per-module. v2 (this PR) adds ``scope: "module" | "project"`` to each
+finding; ``project`` marks findings from cross-module rules (RC5xx
+lock-set analysis, RC6xx wire conformance) whose evidence spans files.
+All v1 fields are unchanged, so v1 consumers that ignore unknown keys
+keep working.
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
 #: Version tag of the JSON output schema.
-REPORT_SCHEMA_VERSION = 1
+REPORT_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True, slots=True)
@@ -45,6 +52,9 @@ class Finding:
     line: int
     col: int
     message: str
+    #: ``"module"`` for per-file rules, ``"project"`` for cross-module
+    #: rules whose evidence spans several files (JSON schema v2).
+    scope: str = "module"
 
     def sort_key(self) -> tuple:
         return (self.path, self.line, self.col, self.code)
@@ -60,6 +70,7 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "col": self.col,
+            "scope": self.scope,
             "message": self.message,
         }
 

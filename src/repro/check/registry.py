@@ -12,6 +12,9 @@ Code blocks
 * ``RC2xx`` hot-path allocation audit
 * ``RC3xx`` policy-API conformance
 * ``RC4xx`` exception / IO hygiene
+* ``RC5xx`` concurrency discipline (lock-set races, event-loop
+  blocking, thread lifecycle)
+* ``RC6xx`` wire-protocol / schema conformance
 * ``RC9xx`` analyzer meta findings (parse errors, suppression misuse);
   these are emitted by the runner itself, not by registered rules, and
   are **not suppressible**.
@@ -19,6 +22,17 @@ Code blocks
 ``scope`` restricts a rule to modules under the given dotted package
 prefixes (matched against :attr:`ModuleContext.module`); ``None`` runs
 the rule on every file.
+
+Rules come in two *kinds*. ``kind="module"`` rules (the PR 5 model)
+see one :class:`ModuleContext` at a time and yield
+``(node_or_line, message)``. ``kind="project"`` rules — registered via
+:func:`project_rule` — run once over the whole analyzed tree: they
+receive the phase-2 :class:`~repro.check.facts.ProjectContext` and
+yield ``(module_ctx, node_or_line, message)`` triples, so one rule can
+anchor findings in several files (a producer in ``protocol.py`` and
+its missing consumer in ``coordinator.py``). Project findings carry
+``scope: "project"`` in the v2 JSON report and participate in the same
+per-file suppression machinery as module findings.
 """
 
 from __future__ import annotations
@@ -38,12 +52,17 @@ from typing import (
 )
 
 from repro.check.context import ModuleContext
+from repro.check.facts import ProjectContext
 from repro.check.findings import Finding
 from repro.core.errors import ConfigError
 
 #: A rule yields (ast node or 1-based line number, message) pairs.
 Location = Union[ast.AST, int]
 RuleFn = Callable[[ModuleContext], Iterable[Tuple[Location, str]]]
+#: A project rule yields (module ctx, ast node or line, message) triples.
+ProjectRuleFn = Callable[
+    [ProjectContext], Iterable[Tuple[ModuleContext, Location, str]]
+]
 
 _CODE_RE = re.compile(r"^RC\d{3}$")
 
@@ -58,15 +77,25 @@ META_CODES = (
 )
 
 
+def _location_pos(location: Location) -> Tuple[int, int]:
+    if isinstance(location, int):
+        return location, 0
+    return (
+        getattr(location, "lineno", 1),
+        getattr(location, "col_offset", 0),
+    )
+
+
 @dataclass(frozen=True)
 class Rule:
-    """One registered static-analysis rule."""
+    """One registered static-analysis rule (module- or project-kind)."""
 
     code: str
     name: str
     summary: str
-    fn: RuleFn
+    fn: Union[RuleFn, ProjectRuleFn]
     scope: Optional[Tuple[str, ...]] = None
+    kind: str = "module"
 
     def applies_to(self, ctx: ModuleContext) -> bool:
         if self.scope is None:
@@ -74,13 +103,14 @@ class Rule:
         return ctx.in_package(*self.scope)
 
     def run(self, ctx: ModuleContext) -> Iterator[Finding]:
-        """Execute the rule, wrapping its locations into findings."""
-        for location, message in self.fn(ctx):
-            if isinstance(location, int):
-                line, col = location, 0
-            else:
-                line = getattr(location, "lineno", 1)
-                col = getattr(location, "col_offset", 0)
+        """Execute a module rule, wrapping its locations into findings."""
+        if self.kind != "module":
+            raise ConfigError(
+                f"rule {self.code} is project-kind; use run_project()"
+            )
+        fn: RuleFn = self.fn  # type: ignore[assignment]
+        for location, message in fn(ctx):
+            line, col = _location_pos(location)
             yield Finding(
                 code=self.code,
                 rule=self.name,
@@ -88,6 +118,25 @@ class Rule:
                 line=line,
                 col=col,
                 message=message,
+            )
+
+    def run_project(self, project: ProjectContext) -> Iterator[Finding]:
+        """Execute a project rule over the whole analyzed tree."""
+        if self.kind != "project":
+            raise ConfigError(
+                f"rule {self.code} is module-kind; use run()"
+            )
+        fn: ProjectRuleFn = self.fn  # type: ignore[assignment]
+        for ctx, location, message in fn(project):
+            line, col = _location_pos(location)
+            yield Finding(
+                code=self.code,
+                rule=self.name,
+                path=ctx.display_path,
+                line=line,
+                col=col,
+                message=message,
+                scope="project",
             )
 
 
@@ -126,6 +175,49 @@ def rule(
         return fn
 
     return decorator
+
+
+def project_rule(
+    code: str,
+    name: str,
+    summary: str,
+) -> Callable[[ProjectRuleFn], ProjectRuleFn]:
+    """Register the decorated function as project-kind rule ``code``.
+
+    Project rules run once per analysis (not once per file) and see
+    the merged :class:`~repro.check.facts.ProjectContext`. They scope
+    themselves by querying ``project.in_packages(...)``, so no
+    ``scope`` parameter is taken here.
+    """
+    if not _CODE_RE.match(code):
+        raise ConfigError(f"bad rule code {code!r}; expected RCnnn")
+    if code in META_CODES:
+        raise ConfigError(f"rule code {code} is reserved for the runner")
+
+    def decorator(fn: ProjectRuleFn) -> ProjectRuleFn:
+        if code in _RULES:
+            raise ConfigError(f"rule {code} already registered")
+        _RULES[code] = Rule(
+            code=code,
+            name=name,
+            summary=summary,
+            fn=fn,
+            scope=None,
+            kind="project",
+        )
+        return fn
+
+    return decorator
+
+
+def module_rules() -> List[Rule]:
+    """Registered module-kind rules, ordered by code."""
+    return [r for r in all_rules() if r.kind == "module"]
+
+
+def project_rules() -> List[Rule]:
+    """Registered project-kind rules, ordered by code."""
+    return [r for r in all_rules() if r.kind == "project"]
 
 
 def all_rules() -> List[Rule]:

@@ -1,0 +1,242 @@
+"""RC5xx: concurrency discipline for the multi-threaded farm.
+
+PR 9's farm runs an accept thread, per-connection reader threads, and
+worker heartbeat threads against shared coordinator state; the locks
+that keep that state coherent are load-bearing for the repo's headline
+guarantee (byte-identical merges under chaos). These rules make the
+lock discipline machine-checked, in the lock-set style of Eraser /
+ThreadSanitizer but static: ownership is *declared* (the
+``# repro: guarded-by[attr]=_lock`` class pragma and the
+``@guarded_by`` / ``@event_loop`` markers from
+:mod:`repro.core.concurrency`) and every access site is checked
+against the declaration.
+
+* **RC501 guarded-by-violation** (project) — an attribute declared
+  ``guarded-by[attr]=_lock`` is accessed outside ``with self._lock:``
+  (and outside any ``@guarded_by("_lock")`` method). ``__init__`` is
+  exempt: no second thread can exist before construction finishes.
+* **RC502 event-loop-blocking** (module) — a blocking call
+  (``time.sleep``, socket send/recv/accept/connect, ``open``, a
+  zero-arg ``.get()`` / ``.get(block=...)`` queue read without
+  ``timeout=``) inside a function marked ``@event_loop``, including
+  its nested closures (they run on the loop thread). One blocked call
+  stalls every lease clock the loop drives.
+* **RC503 thread-daemon-explicit** (module, ``repro.farm``) — every
+  ``threading.Thread(...)`` must pass ``daemon=`` explicitly; inherit-
+  from-creator is how shutdown hangs are born.
+* **RC504 unbounded-wait** (module, ``repro.farm``) — ``.wait()`` /
+  ``.join()`` with no arguments and no ``timeout=``. A farm survives
+  wedged peers only because every wait has a deadline.
+* **RC505 lockset-race** (project) — heuristic race detector: an
+  undeclared attribute of a thread-spawning class that is written
+  outside ``__init__`` and accessed from ≥2 methods, at least one of
+  which is a registered thread target, with an empty lock-set
+  intersection across the access sites. Fix by locking, declaring
+  ``guarded-by``, or suppressing with the single-writer/GIL-atomicity
+  justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.check.context import ModuleContext
+from repro.check.facts import (
+    AttrAccess,
+    ProjectContext,
+    is_event_loop_marked,
+)
+from repro.check.registry import Location, project_rule, rule
+
+_FARM = ("repro.farm",)
+
+#: Method names whose call blocks the calling thread (socket/file IO).
+_BLOCKING_ATTRS = {"recv", "accept", "connect", "sendall", "send"}
+
+
+@project_rule(
+    "RC501",
+    "guarded-by-violation",
+    "attribute declared guarded-by[attr]=_lock accessed without the lock",
+)
+def guarded_by_violation(
+    project: ProjectContext,
+) -> Iterator[Tuple[ModuleContext, Location, str]]:
+    for ctx, facts in project.units:
+        if not facts.guard_decls:
+            continue
+        declared = {
+            (decl.cls, decl.attr): decl.lock for decl in facts.guard_decls
+        }
+        for access in facts.attr_accesses:
+            lock = declared.get((access.cls, access.attr))
+            if lock is None or access.in_init:
+                continue
+            if lock in access.locks:
+                continue
+            verb = "written" if access.is_write else "read"
+            yield (
+                ctx,
+                access.line,
+                f"self.{access.attr} is guarded-by[{access.attr}]={lock} "
+                f"but {verb} in {access.cls}.{access.method} without "
+                f"holding self.{lock} (wrap in `with self.{lock}:` or "
+                f'mark the method @guarded_by("{lock}"))',
+            )
+
+
+@rule(
+    "RC502",
+    "event-loop-blocking",
+    "blocking call inside an @event_loop-marked function",
+)
+def event_loop_blocking(
+    ctx: ModuleContext,
+) -> Iterator[Tuple[Location, str]]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not is_event_loop_marked(ctx, node):
+            continue
+        # Nested defs are NOT skipped: closures defined in the loop
+        # body run on the loop thread when the loop calls them.
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            reason = _blocking_reason(ctx, call)
+            if reason:
+                yield (
+                    call,
+                    f"{reason} inside @event_loop function "
+                    f"`{node.name}`; the loop drives every lease "
+                    "clock — hand the work to a thread or bound it "
+                    "with a timeout",
+                )
+
+
+def _blocking_reason(ctx: ModuleContext, call: ast.Call) -> str:
+    target = ctx.call_target(call)
+    if target == "time.sleep":
+        return "time.sleep() blocks"
+    if target == "open":
+        return "file IO (open) blocks"
+    if isinstance(call.func, ast.Attribute):
+        attr = call.func.attr
+        if attr in _BLOCKING_ATTRS:
+            return f"socket .{attr}() blocks"
+        if (
+            attr == "get"
+            and not call.args
+            and not any(kw.arg == "timeout" for kw in call.keywords)
+        ):
+            return "queue .get() without timeout= blocks forever"
+    return ""
+
+
+@rule(
+    "RC503",
+    "thread-daemon-explicit",
+    "threading.Thread(...) without an explicit daemon= flag",
+    scope=_FARM,
+)
+def thread_daemon_explicit(
+    ctx: ModuleContext,
+) -> Iterator[Tuple[Location, str]]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if ctx.call_target(node) != "threading.Thread":
+            continue
+        if any(kw.arg == "daemon" for kw in node.keywords):
+            continue
+        yield (
+            node,
+            "threading.Thread(...) without explicit daemon=; shutdown "
+            "behaviour must be a decision, not an inheritance",
+        )
+
+
+@rule(
+    "RC504",
+    "unbounded-wait",
+    ".wait()/.join() with no timeout blocks shutdown forever",
+    scope=_FARM,
+)
+def unbounded_wait(ctx: ModuleContext) -> Iterator[Tuple[Location, str]]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not isinstance(node.func, ast.Attribute):
+            continue
+        if node.func.attr not in ("wait", "join"):
+            continue
+        if node.args or any(kw.arg == "timeout" for kw in node.keywords):
+            continue
+        yield (
+            node,
+            f".{node.func.attr}() without timeout=; a wedged peer "
+            "would block this thread forever — every farm wait needs "
+            "a deadline",
+        )
+
+
+@project_rule(
+    "RC505",
+    "lockset-race",
+    "shared attribute of a thread-spawning class with empty lock-set "
+    "intersection",
+)
+def lockset_race(
+    project: ProjectContext,
+) -> Iterator[Tuple[ModuleContext, Location, str]]:
+    for ctx, facts in project.units:
+        if not facts.thread_targets:
+            continue
+        declared: Set[Tuple[str, str]] = {
+            (decl.cls, decl.attr) for decl in facts.guard_decls
+        }
+        # Names used as locks anywhere in the module: the lock objects
+        # themselves are accessed bare by design.
+        lock_names: Set[str] = {d.lock for d in facts.guard_decls}
+        for access in facts.attr_accesses:
+            lock_names.update(access.locks)
+
+        by_attr: Dict[Tuple[str, str], List[AttrAccess]] = {}
+        for access in facts.attr_accesses:
+            if access.in_init:
+                continue  # pre-thread construction is single-threaded
+            if access.cls not in facts.thread_targets:
+                continue
+            if (access.cls, access.attr) in declared:
+                continue  # RC501's jurisdiction
+            if access.attr in lock_names:
+                continue
+            by_attr.setdefault((access.cls, access.attr), []).append(
+                access
+            )
+
+        for (cls, attr), accesses in sorted(by_attr.items()):
+            targets = facts.thread_targets[cls]
+            methods = {a.method for a in accesses}
+            if len(methods) < 2 or not methods & targets:
+                continue
+            writes = [a for a in accesses if a.is_write]
+            if not writes:
+                continue
+            common = frozenset.intersection(
+                *(a.locks for a in accesses)
+            )
+            if common:
+                continue
+            anchor = min(writes, key=lambda a: (a.line, a.col))
+            thread_methods = ", ".join(sorted(methods & targets))
+            yield (
+                ctx,
+                anchor.line,
+                f"self.{attr} is written in {cls}.{anchor.method} and "
+                f"touched from {len(methods)} methods (thread "
+                f"target(s): {thread_methods}) with no common lock; "
+                f"guard it, declare `# repro: guarded-by[{attr}]=...`, "
+                "or suppress with a single-writer justification",
+            )

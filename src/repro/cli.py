@@ -646,7 +646,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
     if args.list_rules:
         for entry in all_rules():
-            scope = ",".join(entry.scope) if entry.scope else "all modules"
+            if entry.kind == "project":
+                scope = "project"
+            else:
+                scope = ",".join(entry.scope) if entry.scope else "all modules"
             print(f"{entry.code} {entry.name:28s} [{scope}]")
             print(f"      {entry.summary}")
         return 0
@@ -663,6 +666,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
             args.paths,
             rules=codes,
             fix_suppressions=args.fix_suppressions,
+            project=args.project,
         )
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -923,7 +927,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     check_parser = sub.add_parser(
         "check",
-        help="static analysis: determinism/hot-path/policy-API/IO rules",
+        help=(
+            "static analysis: determinism/hot-path/policy-API/IO/"
+            "concurrency/wire-conformance rules"
+        ),
     )
     check_parser.add_argument(
         "paths", nargs="*", default=["src"],
@@ -932,6 +939,14 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument(
         "--format", choices=("human", "json"), default="human",
         help="output format (default human; json is the CI artifact)",
+    )
+    check_parser.add_argument(
+        "--project", action=argparse.BooleanOptionalAction, default=True,
+        help=(
+            "run the cross-module phase (RC5xx lock-set + RC6xx wire "
+            "conformance) over the whole analyzed tree (default on; "
+            "--no-project = per-module rules only)"
+        ),
     )
     check_parser.add_argument(
         "--rules", action="append", default=None, metavar="RCxxx",

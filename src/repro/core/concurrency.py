@@ -1,0 +1,105 @@
+"""Concurrency/protocol contract markers: ``guarded_by``, ``event_loop``,
+``consumes``.
+
+The farm (PR 9) made this repository multi-threaded: the coordinator
+owns an accept thread and per-connection reader threads, workers own a
+heartbeat thread, and three locks (``_streams_lock``, ``_status_lock``,
+``_send_lock``) keep the shared state coherent. Those disciplines are
+*contracts* — which lock guards which attribute, which methods run on
+the single-threaded event loop, which handler consumes which wire
+message — and like the PR 2 hot-path contract they erode silently
+unless something checks them. ``repro check``'s RC5xx/RC6xx project
+rules do; this module is the vocabulary they read.
+
+All three markers follow :mod:`repro.core.hotpath`: they set one
+attribute at decoration time and return the same function object — no
+wrapper, no indirection, nothing on any call path.
+
+* ``@guarded_by("_lock")`` — declares that the decorated function runs
+  with ``self._lock`` already held (callers' responsibility), so the
+  static lock-set analysis treats every attribute access inside it as
+  lock-protected. The per-*attribute* declaration is the class-body
+  pragma ``# repro: guarded-by[_attr]=_lock`` (see
+  ``docs/STATIC_ANALYSIS.md``); the decorator covers helper methods
+  called under a lock the pragma names.
+* ``@event_loop`` — marks a function as part of a single-threaded
+  orchestration loop (the farm coordinator's ``run``). RC502 then
+  flags blocking calls (socket sends/receives, ``time.sleep``, file
+  IO, unbounded queue reads) inside it: one blocked call stalls every
+  clock the loop drives.
+* ``@consumes("kind", ...)`` — declares which wire-protocol message
+  kinds a handler function consumes. RC601/RC602 check the declared
+  kinds and the handler's string-key reads against the single
+  :data:`repro.farm.protocol.MESSAGE_KINDS` table, so a key or kind
+  renamed on one side of the wire is a static finding, not a runtime
+  surprise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple, TypeVar
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Attribute set by :func:`guarded_by` (the declared lock name).
+GUARDED_BY_ATTR = "__repro_guarded_by__"
+
+#: Attribute set by :func:`event_loop`.
+EVENT_LOOP_ATTR = "__repro_event_loop__"
+
+#: Attribute set by :func:`consumes` (the declared message kinds).
+CONSUMES_ATTR = "__repro_consumes__"
+
+
+def guarded_by(lock: str) -> Callable[[F], F]:
+    """Declare that the decorated function runs with ``self.<lock>`` held.
+
+    The decorator is a promise made by the callers, checked statically:
+    RC501 treats accesses inside the function as protected by ``lock``.
+    Zero runtime overhead — one attribute set at decoration time.
+    """
+
+    def decorator(fn: F) -> F:
+        setattr(fn, GUARDED_BY_ATTR, lock)
+        return fn
+
+    return decorator
+
+
+def event_loop(fn: F) -> F:
+    """Mark ``fn`` as single-threaded event-loop code (audited by RC502)."""
+    setattr(fn, EVENT_LOOP_ATTR, True)
+    return fn
+
+
+def consumes(*kinds: str) -> Callable[[F], F]:
+    """Declare the wire-message kinds the decorated handler consumes.
+
+    RC601 counts the declaration as a consumer of each kind; RC602
+    checks the handler's string-key reads against the union of the
+    declared kinds' key sets in
+    :data:`repro.farm.protocol.MESSAGE_KINDS`.
+    """
+
+    def decorator(fn: F) -> F:
+        setattr(fn, CONSUMES_ATTR, tuple(kinds))
+        return fn
+
+    return decorator
+
+
+def guarded_lock_of(fn: Callable[..., Any]) -> str:
+    """The lock name declared via :func:`guarded_by` (``""`` if none)."""
+    lock = getattr(fn, GUARDED_BY_ATTR, "")
+    return lock if isinstance(lock, str) else ""
+
+
+def is_event_loop(fn: Callable[..., Any]) -> bool:
+    """Whether ``fn`` carries the :func:`event_loop` marker."""
+    return getattr(fn, EVENT_LOOP_ATTR, False) is True
+
+
+def consumed_kinds_of(fn: Callable[..., Any]) -> Tuple[str, ...]:
+    """The kinds declared via :func:`consumes` (``()`` if none)."""
+    kinds = getattr(fn, CONSUMES_ATTR, ())
+    return tuple(kinds) if isinstance(kinds, tuple) else ()

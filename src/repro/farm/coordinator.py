@@ -49,6 +49,7 @@ from typing import (
     Tuple,
 )
 
+from repro.core.concurrency import consumes, event_loop
 from repro.core.errors import FarmError
 from repro.farm import protocol
 from repro.farm.jobs import FarmJob
@@ -117,7 +118,18 @@ class FarmCoordinator:
     ``_record_failure`` bookkeeping it should reuse, then
     :meth:`close`. ``run`` returns the tasks the farm could not finish
     — the executor hands them down the pool/serial chain.
+
+    Thread shape (checked by ``repro check``'s RC5xx rules): one accept
+    thread, one reader thread per connection, and the strictly
+    single-threaded ``@event_loop`` in :meth:`run`. The lock ownership
+    declared below is the whole cross-thread contract — everything
+    else is either event-queue traffic or pre-thread ``__init__``
+    state.
     """
+
+    # repro: guarded-by[_streams]=_streams_lock
+    # repro: guarded-by[_reader_threads]=_streams_lock
+    # repro: guarded-by[_status]=_status_lock
 
     def __init__(
         self,
@@ -139,6 +151,7 @@ class FarmCoordinator:
         self._closing = False
         self._conn_seq = 0
         self._streams: List[protocol.MessageStream] = []
+        self._reader_threads: List[threading.Thread] = []
         self._streams_lock = threading.Lock()
         self._status_lock = threading.Lock()
         self._status: Dict[str, Any] = {
@@ -173,13 +186,14 @@ class FarmCoordinator:
                 return  # server socket closed
             self._conn_seq += 1
             stream = protocol.MessageStream(conn)
-            with self._streams_lock:
-                self._streams.append(stream)
             reader = threading.Thread(
                 target=self._reader_loop,
                 args=(stream, self._conn_seq),
                 daemon=True,
             )
+            with self._streams_lock:
+                self._streams.append(stream)
+                self._reader_threads.append(reader)
             reader.start()
 
     def _reader_loop(
@@ -220,6 +234,7 @@ class FarmCoordinator:
     # Orchestration
     # ------------------------------------------------------------------
 
+    @event_loop
     def run(
         self,
         tasks: List[CellTask],
@@ -299,6 +314,7 @@ class FarmCoordinator:
             if task.attempt > executor.options.retries:
                 unfinished.pop(task.key, None)
 
+        @consumes("result")
         def handle_result(
             worker_name: str, message: Dict[str, Any]
         ) -> None:
@@ -355,6 +371,7 @@ class FarmCoordinator:
             if worker is not None:
                 self.stats.add_worker_stages(worker_name, stages)
 
+        @consumes("error")
         def handle_error(
             worker_name: str, message: Dict[str, Any]
         ) -> None:
@@ -394,6 +411,7 @@ class FarmCoordinator:
                 )
                 ever_joined = True
                 try:
+                    # repro: allow[RC502] -- small frame, beat-bounded
                     stream.send(
                         protocol.welcome(
                             self._job.to_wire(),
@@ -421,7 +439,8 @@ class FarmCoordinator:
                 handle_result(name, message)
             elif mtype == "error":
                 handle_error(name, message)
-            # heartbeats need nothing beyond the timestamp update
+            elif mtype == "heartbeat":
+                pass  # liveness is the timestamp update above
 
         try:
             while unfinished:
@@ -476,6 +495,7 @@ class FarmCoordinator:
                     self.stats.leases_issued += 1
                     value, seed = task.key
                     try:
+                        # repro: allow[RC502] -- small frame, beat-bounded
                         worker.stream.send(
                             protocol.lease(
                                 lease_seq,
@@ -531,6 +551,7 @@ class FarmCoordinator:
             )
         return fallback
 
+    @event_loop
     def _publish_status(
         self,
         *,
@@ -570,7 +591,10 @@ class FarmCoordinator:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the farm down: tell workers to exit, close the socket."""
+        """Shut the farm down: tell workers to exit, close the socket,
+        and join every thread this coordinator started (bounded — a
+        wedged reader must not wedge teardown)."""
+        # repro: allow[RC505] -- monotonic one-shot bool; GIL-atomic
         self._closing = True
         try:
             self._server.close()
@@ -579,6 +603,8 @@ class FarmCoordinator:
         with self._streams_lock:
             streams = list(self._streams)
             self._streams.clear()
+            readers = list(self._reader_threads)
+            self._reader_threads.clear()
         goodbye = protocol.shutdown()
         for stream in streams:
             try:
@@ -586,6 +612,12 @@ class FarmCoordinator:
             except OSError:
                 pass  # connection already gone; EOF says the same thing
             stream.close()
+        # Closing the server socket unblocks accept(); closing the
+        # streams unblocks every reader's recv(). Bounded joins so a
+        # half-dead peer cannot hold close() hostage.
+        self._accept_thread.join(timeout=5.0)
+        for reader in readers:
+            reader.join(timeout=5.0)
 
 
 def _pop_assignable(

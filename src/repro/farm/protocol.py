@@ -34,12 +34,59 @@ import hashlib
 import json
 import socket
 import threading
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence
 
 from repro.core.errors import FarmError
 
 #: Protocol version; a worker/coordinator mismatch refuses the pairing.
 PROTOCOL_VERSION = 1
+
+#: THE wire contract: every message kind and its exact payload key set
+#: (beside the ``"t"`` discriminator). This table is the single
+#: declaration both sides are checked against — ``repro check``'s
+#: RC601/RC602 project rules verify that every dict literal produced
+#: and every ``.get("t")`` dispatch or ``@consumes`` handler anywhere
+#: in ``repro.farm`` / ``repro.cli`` agrees with it, so renaming a
+#: kind or a key on one side of the wire is a static finding.
+MESSAGE_KINDS: Dict[str, FrozenSet[str]] = {
+    "hello": frozenset({"name", "pid", "protocol"}),
+    "welcome": frozenset(
+        {"protocol", "job", "identity", "heartbeat_interval"}
+    ),
+    "lease": frozenset(
+        {"lease_id", "index", "attempt", "value", "seed", "policies"}
+    ),
+    "heartbeat": frozenset({"name"}),
+    "result": frozenset(
+        {
+            "lease_id",
+            "index",
+            "attempt",
+            "value",
+            "seed",
+            "points",
+            "stages",
+            "digest",
+        }
+    ),
+    "error": frozenset(
+        {"lease_id", "index", "attempt", "error", "fatal"}
+    ),
+    "shutdown": frozenset(),
+    "status?": frozenset(),
+    "status": frozenset(
+        {
+            "experiment",
+            "state",
+            "endpoint",
+            "cells",
+            "workers",
+            "ledger",
+            "worker_stages",
+            "elapsed",
+        }
+    ),
+}
 
 #: Hard cap on a single message line — a farm message is a few KB of
 #: points, so anything near this is a framing bug, not a big result.
@@ -101,7 +148,15 @@ class MessageStream:
     ``send`` is locked (the worker's heartbeat thread and lease loop
     share one socket); ``recv`` buffers bytes and yields one decoded
     object per line. ``recv`` returning ``None`` means clean EOF.
+
+    Concurrency contract: ``_send_lock`` serializes *senders* only.
+    ``recv`` is single-consumer by construction (exactly one reader
+    thread owns each stream) and ``close`` is teardown — both touch
+    ``_sock`` without the lock, each with a justified RC501
+    suppression below.
     """
+
+    # repro: guarded-by[_sock]=_send_lock
 
     def __init__(self, sock: socket.socket) -> None:
         self._sock = sock
@@ -128,7 +183,9 @@ class MessageStream:
                     f"farm message exceeds {MAX_MESSAGE_BYTES} bytes "
                     f"without a newline; dropping the connection"
                 )
+            # repro: allow[RC501] -- recv path; one reader owns it
             self._sock.settimeout(timeout)
+            # repro: allow[RC501] -- recv path; one reader owns it
             chunk = self._sock.recv(65536)
             if not chunk:
                 return None
@@ -147,11 +204,15 @@ class MessageStream:
         return message
 
     def close(self) -> None:
+        """Idempotent teardown; safe to race a sender (it gets OSError,
+        which every call site already treats as a dead peer)."""
         try:
+            # repro: allow[RC501] -- teardown; racing senders see OSError
             self._sock.shutdown(socket.SHUT_RDWR)
         except OSError:
             pass
         try:
+            # repro: allow[RC501] -- teardown; racing senders see OSError
             self._sock.close()
         except OSError:  # pragma: no cover - double close
             pass

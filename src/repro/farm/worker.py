@@ -43,6 +43,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro.core.concurrency import consumes
 from repro.core.errors import FarmError, ReproError
 from repro.farm import protocol
 from repro.farm.jobs import CellRunner, build_cell_runner
@@ -139,6 +140,7 @@ class FarmWorker:
         sock.settimeout(None)
         stream = protocol.MessageStream(sock)
         stop_heartbeat = threading.Event()
+        beat: Optional[threading.Thread] = None
         try:
             stream.send(protocol.hello(self.name, os.getpid()))
             welcome = stream.recv(timeout=self._connect_timeout)
@@ -178,7 +180,12 @@ class FarmWorker:
                 if message.get("t") == "lease":
                     self._handle_lease(stream, message)
         finally:
+            # Stop the heartbeat before tearing the socket down so the
+            # beat thread cannot race a send against close(); the join
+            # is bounded — it only waits out an in-flight sendall.
             stop_heartbeat.set()
+            if beat is not None:
+                beat.join(timeout=2.0)
             stream.close()
 
     def _heartbeat_loop(
@@ -205,6 +212,7 @@ class FarmWorker:
             mode, index, attempt
         )
 
+    @consumes("lease")
     def _handle_lease(
         self, stream: protocol.MessageStream, message: Dict[str, Any]
     ) -> None:
@@ -226,6 +234,7 @@ class FarmWorker:
             # Full silence — heartbeats muted — long enough for the
             # coordinator to declare us lost and reissue; then compute
             # and deliver late, rejoining.
+            # repro: allow[RC505] -- single writer; float store is atomic
             self._mute_until = time.monotonic() + delay
             time.sleep(delay)
 

@@ -1,0 +1,66 @@
+"""Corpus: RC5xx concurrency-discipline fixtures.
+
+Each block carries a positive case (must be found) and a neighbouring
+negative case (must NOT be found); tests/check_corpus/golden.json pins
+the exact finding set. This module deliberately violates the lock
+discipline — never import it.
+"""
+# repro: module=repro.farm.bad_concurrency
+
+import threading
+import time
+
+from repro.core.concurrency import event_loop, guarded_by
+
+
+class Courier:
+    """Thread-spawning class exercising RC501 / RC503 / RC504 / RC505."""
+
+    # repro: guarded-by[_inbox]=_lock
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inbox = []  # negative RC501: __init__ is pre-thread
+        self._outbox = []
+        self._seen = 0
+        self._label = "idle"  # negative RC505: written only in __init__
+
+    def start(self) -> None:
+        worker = threading.Thread(
+            target=self._pump, daemon=True
+        )  # negative RC503: daemon explicit
+        worker.start()
+        lazy = threading.Thread(target=self._pump)  # RC503
+        lazy.start()
+
+    def _pump(self) -> None:
+        with self._lock:
+            self._inbox.append(1)  # negative RC501: lock held
+        # repro: allow[RC501] -- demo: justified bare peek of the inbox
+        if self._inbox:
+            self._seen += 1  # RC505: raced against poll(), no lock
+        self._inbox.append(2)  # RC501: declared lock not held
+
+    @guarded_by("_lock")
+    def _drain_locked(self) -> None:
+        self._inbox.clear()  # negative RC501: @guarded_by covers it
+
+    def poll(self) -> int:
+        self._seen += 1  # same RC505 attr; finding anchors at _pump
+        return len(self._outbox)  # negative RC505: no non-init write
+
+    def wait_for(self, done: threading.Event) -> None:
+        done.wait()  # RC504
+        done.wait(1.0)  # negative RC504: bounded
+
+
+@event_loop
+def orchestrate(events, clock) -> None:
+    time.sleep(0.01)  # RC502
+    events.get()  # RC502: unbounded queue read
+    events.get(timeout=0.1)  # negative RC502: bounded
+    clock.advance()  # negative RC502: not a blocking call
+
+
+def not_a_loop(events) -> None:
+    time.sleep(0.01)  # negative RC502: no @event_loop marker

@@ -1,0 +1,58 @@
+"""Corpus: RC601/RC602 wire-protocol conformance fixtures.
+
+A self-contained mini-protocol: its own ``MESSAGE_KINDS`` table plus
+producer and consumer sites that disagree with it in every way the
+rules can catch. The corpus directory is analyzed as one project, so
+this table is the declaration every other fixture in the directory is
+checked against.
+"""
+# repro: module=repro.farm.bad_protocol
+
+from repro.core.concurrency import consumes
+
+MESSAGE_KINDS = {
+    "ping": frozenset({"seq"}),
+    "pong": frozenset({"seq", "rtt"}),
+    # "nacked" is never produced nor consumed: two RC601 findings
+    # anchored at this table.
+    "nacked": frozenset({"seq"}),
+    "bulk": frozenset({"items"}),
+}
+
+
+def make_ping(seq):
+    return {"t": "ping", "seq": seq}  # negative: declared, exact keys
+
+
+def make_pong(seq):
+    return {"t": "pong", "seq": seq}  # RC602: missing ['rtt']
+
+
+def make_rogue():
+    return {"t": "rogue", "payload": 1}  # RC601: kind not declared
+
+
+def make_bulk(items):
+    # RC602: extra ['count'] beside the declared {'items'}.
+    return {"t": "bulk", "items": items, "count": len(items)}
+
+
+def dispatch(message):
+    kind = message.get("t")
+    if kind == "ping":  # negative: declared kind test
+        return message["seq"]  # negative RC602: declared key
+    if kind == "pong":
+        return message["when"]  # RC602: key not declared for pong
+    if kind == "ghost":  # RC601: tested kind not declared
+        return None
+    return None
+
+
+@consumes("bulk")
+def handle_bulk(message):
+    return message["items"]  # negative RC602: declared for bulk
+
+
+@consumes("vapor")  # RC601: @consumes kind not declared
+def handle_vapor(message):
+    return None

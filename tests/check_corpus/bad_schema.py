@@ -1,0 +1,29 @@
+"""Corpus: RC603/RC604 JSONL trace-schema fixtures.
+
+A miniature writer/replayer pair whose event vocabularies disagree in
+both directions, plus a schema version outside its own supported
+tuple.
+"""
+# repro: module=repro.obs.bad_schema
+
+EVENT_SCHEMA_VERSION = 3  # RC604: not in SUPPORTED_SCHEMA_VERSIONS
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+
+
+class TinyWriter:
+    def emit_tick(self, out, slot):
+        out.write({"t": "tick", "slot": slot})  # negative: dispatched
+
+    def emit_mystery(self, out):
+        out.write({"t": "mystery"})  # RC603: never dispatched
+
+
+def replay(events):
+    total = 0
+    for event in events:
+        kind = event["t"]
+        if kind == "tick":  # negative: written above
+            total += 1
+        elif kind == "phantom":  # RC603: no writer emits this
+            total -= 1
+    return total

@@ -205,9 +205,16 @@ class TestFarmServeCli:
             _, serve_err = serve.communicate(timeout=300)
             assert serve.returncode == 0, serve_err
         finally:
+            # Workers drain the shutdown message and print their
+            # summary *after* the coordinator exits; give them a
+            # bounded grace before killing, or a clean exit races the
+            # kill (-9) and the returncode assertion below flakes.
             for proc in (serve, *workers):
                 if proc.poll() is None:
-                    proc.kill()
+                    try:
+                        proc.wait(timeout=30)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
         for proc in workers:
             out, err = proc.communicate(timeout=60)
             assert proc.returncode == 0, err
